@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench bench-quick examples artifacts clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow" -x -q
+
+bench:          ## full sweeps; regenerates every paper table/figure
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:    ## 5-point sweeps for a fast sanity pass
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done
+
+artifacts: bench
+	@echo "tables and figures written to benchmarks/results/"
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

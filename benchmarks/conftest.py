@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures, prints it,
+and writes it under ``benchmarks/results/`` so EXPERIMENTS.md can link the
+artifacts.  The expensive sweeps are memoized in-process
+(:mod:`repro.bench.runner`), so the suite shares one Table 2 grid across
+Figures 1-3 and Tables 3-4.
+
+Set ``REPRO_BENCH_QUICK=1`` to sweep 5 rank counts instead of the paper's
+10.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(results_dir):
+    """Write one experiment's text artifact and echo it to stdout."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

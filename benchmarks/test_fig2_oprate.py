@@ -1,0 +1,43 @@
+"""Figure 2: operation rate (kOps/s) of both phases vs ranks (largest
+synthetic graph).
+
+Shape claims (Section 7.1): the preprocessing phase keeps gaining
+operation rate with more ranks (more aggregate cache, no redundant work),
+while the counting phase's rate improvement flattens or reverses well
+before the largest grid (its redundant work grows with sqrt(p) and its
+communication share rises).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig2_op_rate
+from repro.bench.tables import BIG_DATASET
+from repro.bench.calibration import paper_model
+from repro.bench.runner import run_point
+
+
+def test_fig2(benchmark, save_artifact):
+    text, series = fig2_op_rate()
+    save_artifact("fig2_oprate", text)
+
+    ppt = dict(series["ppt"])
+    tct = dict(series["tct"])
+    ranks = sorted(ppt)
+    top, first = max(ranks), min(ranks)
+
+    # ppt rate grows from 16 to the largest grid.
+    assert ppt[top] > ppt[first]
+    # tct rate jumps at 25 (cache effect: the paper's peak-at-25).
+    assert tct[25] > tct[first]
+    # tct rate gains flatten: the relative gain over the last doubling of
+    # ranks is smaller than the first step's gain.
+    gain_first = tct[25] / tct[first]
+    gain_last = tct[top] / tct[ranks[-2]]
+    assert gain_last < gain_first
+    assert all(v > 0 for v in list(ppt.values()) + list(tct.values()))
+
+    benchmark.pedantic(
+        lambda: run_point(BIG_DATASET, 25, model=paper_model()),
+        rounds=1,
+        iterations=1,
+    )

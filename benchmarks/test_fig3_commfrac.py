@@ -1,0 +1,39 @@
+"""Figure 3: communication share of each phase's time vs ranks (largest
+synthetic graph).
+
+Shape claims (Section 7.2): computation dominates both phases at every
+grid size we sweep, but the communication share keeps increasing with the
+number of ranks.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig3_comm_fraction
+from repro.bench.calibration import paper_model
+from repro.bench.runner import run_point
+from repro.bench.tables import BIG_DATASET
+
+
+def test_fig3(benchmark, save_artifact):
+    text, series = fig3_comm_fraction()
+    save_artifact("fig3_commfrac", text)
+
+    ppt = dict(series["ppt"])
+    tct = dict(series["tct"])
+    ranks = sorted(tct)
+    top, first = max(ranks), min(ranks)
+
+    # Communication share increases with ranks for both phases.
+    assert tct[top] > tct[first]
+    assert ppt[top] > ppt[first]
+    # The counting phase stays computation-dominated (< 50%).
+    assert tct[top] < 50.0
+    # Fractions are valid percentages.
+    for v in list(ppt.values()) + list(tct.values()):
+        assert 0.0 <= v <= 100.0
+
+    benchmark.pedantic(
+        lambda: run_point(BIG_DATASET, 49, model=paper_model()),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,29 @@
+"""Table 1: dataset summary (scaled analogues of the paper's graphs)."""
+
+from __future__ import annotations
+
+from repro.bench.tables import table1
+from repro.graph import load_dataset
+from repro.graph.stats import triangle_count_linalg
+
+
+def test_table1(benchmark, save_artifact):
+    text, data = table1()
+    save_artifact("table1", text)
+
+    by_name = {d["dataset"]: d for d in data}
+    # Every dataset is non-trivial and correctly sized relative to family.
+    for d in data:
+        assert d["vertices"] > 0 and d["edges"] > 0
+    # RMAT sizes double per scale level (within simplification slack).
+    assert by_name["g500-s13"]["edges"] > 1.5 * by_name["g500-s12"]["edges"]
+    assert by_name["g500-s14"]["edges"] > 1.5 * by_name["g500-s13"]["edges"]
+    # The twitter/friendster contrast: triangle density differs by >10x
+    # (paper: 29 triangles/edge vs ~1e-4).
+    tw = by_name["twitter-like"]
+    fr = by_name["friendster-like"]
+    assert tw["triangles"] / tw["edges"] > 10 * fr["triangles"] / fr["edges"]
+
+    # Benchmark the oracle counter used to produce the table.
+    g = load_dataset("g500-s12")
+    benchmark(triangle_count_linalg, g)

@@ -1,0 +1,37 @@
+"""Table 3: triangle-counting load imbalance at 25 and 36 ranks.
+
+Shape claim (Section 7.2): the cyclic distribution keeps the per-rank
+compute imbalance small — the paper measures 1.05 at 25 ranks and 1.14 at
+36, and attributes it to the <6% imbalance in per-rank task counts.
+"""
+
+from __future__ import annotations
+
+from repro.bench.calibration import paper_model
+from repro.bench.runner import run_point
+from repro.bench.tables import BIG_DATASET, table3
+
+
+def test_table3(benchmark, save_artifact):
+    text, data = table3()
+    save_artifact("table3", text)
+
+    for row in data:
+        assert row["max_ms"] >= row["avg_ms"] > 0
+        assert 1.0 <= row["imbalance"] < 1.6, row
+
+    # Task-count imbalance across ranks stays modest (the paper's <6%
+    # becomes <~35% at our 1000x smaller block granularity).
+    res = run_point(BIG_DATASET, 25, model=paper_model())
+    per_rank: dict[int, int] = {}
+    for rec in res.shift_records:
+        per_rank[rec.rank] = per_rank.get(rec.rank, 0) + rec.tasks
+    counts = list(per_rank.values())
+    imb = max(counts) / (sum(counts) / len(counts))
+    assert imb < 1.4
+
+    benchmark.pedantic(
+        lambda: run_point(BIG_DATASET, 36, model=paper_model()),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,67 @@
+"""Extension benchmark: weak scaling (not in the paper).
+
+The paper only reports strong scaling.  Its Section 5.4 analysis predicts
+how the algorithm should *weak*-scale: with edges per rank held constant
+(RMAT scale +1 for every 2x ranks), the counting phase's per-rank work is
+``d_avg * (n / sqrt(p)) * (d_avg / sqrt(p) + 1)`` — n/sqrt(p) grows like
+sqrt(p) under weak scaling, so runtime should grow sublinearly in p
+rather than stay flat.  This bench runs the weak-scaled series and checks
+that prediction: time grows, but far slower than total work does.
+"""
+
+from __future__ import annotations
+
+from repro.bench.calibration import paper_model
+from repro.core import count_triangles_2d
+from repro.graph import rmat_graph
+from repro.instrument import format_table
+
+#: (ranks, RMAT scale): doubling the scale quadruples edges, matching the
+#: 4x rank growth, so edges per rank stay ~constant.
+SERIES = [(16, 12), (64, 14), (144, 15)]
+
+
+def test_weak_scaling(benchmark, save_artifact):
+    model = paper_model()
+    rows = []
+    results = []
+    for p, scale in SERIES:
+        g = rmat_graph(scale, seed=1)
+        res = count_triangles_2d(g, p, model=model, dataset=f"rmat-s{scale}")
+        results.append((p, g, res))
+        rows.append(
+            (
+                p,
+                f"s{scale}",
+                g.num_edges,
+                g.num_edges / p,
+                res.tct_time * 1e3,
+                res.overall_time * 1e3,
+            )
+        )
+    text = format_table(
+        ["ranks", "RMAT", "edges", "edges/rank", "tct (ms)", "overall (ms)"],
+        rows,
+        title=(
+            "Extension: weak scaling (edges per rank ~constant; Section 5.4 "
+            "predicts sublinear-in-p growth of the counting time)"
+        ),
+    )
+    save_artifact("weak_scaling", text)
+
+    # Edges per rank stays within 2x across the series (the weak-scaling
+    # setup itself).
+    per_rank = [g.num_edges / p for p, g, _ in results]
+    assert max(per_rank) / min(per_rank) < 2.0
+
+    # Counting time grows (the sqrt(p) factor) ...
+    t16 = results[0][2].tct_time
+    t144 = results[-1][2].tct_time
+    assert t144 > t16
+    # ... but far more slowly than total work (9x ranks, ~8x edges).
+    assert t144 / t16 < 6.0
+
+    g12 = rmat_graph(12, seed=1)
+    benchmark.pedantic(
+        lambda: count_triangles_2d(g12, 16, model=model), rounds=1, iterations=1
+    )

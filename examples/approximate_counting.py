@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Approximate triangle counting: accuracy vs. work.
+
+The paper's introduction frames the field as "exact and approximate"
+counting; this example runs the DOULION-style sparsification estimator on
+top of the exact 2D pipeline and prints the accuracy/work trade-off for a
+range of edge-keep probabilities.
+
+Run:  python examples/approximate_counting.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.calibration import paper_model
+from repro.core import count_triangles_2d
+from repro.core.approximate import estimate_with_confidence
+from repro.graph import load_dataset
+from repro.graph.stats import degree_summary
+from repro.instrument import format_table
+
+
+def main() -> None:
+    g = load_dataset("g500-s13")
+    print(f"dataset g500-s13: {degree_summary(g)}")
+    model = paper_model()
+    exact = count_triangles_2d(g, 16, model=model)
+    print(f"exact count: {exact.count:,} (tct {exact.tct_time * 1e3:.3f} ms)\n")
+
+    rows = []
+    for keep in (0.7, 0.5, 0.3, 0.2):
+        mean, std, runs = estimate_with_confidence(
+            g, 16, keep_prob=keep, trials=5, seed=1, model=model
+        )
+        err = abs(mean - exact.count) / exact.count
+        avg_tct = sum(r.tct_time for r in runs) / len(runs)
+        rows.append(
+            (
+                keep,
+                f"{mean:,.0f}",
+                f"{err:.1%}",
+                f"{std / exact.count:.1%}",
+                avg_tct * 1e3,
+                exact.tct_time / avg_tct,
+            )
+        )
+    print(
+        format_table(
+            [
+                "keep prob",
+                "estimate (5-trial mean)",
+                "error",
+                "rel std",
+                "tct (ms)",
+                "speedup",
+            ],
+            rows,
+            title="Sparsified estimation on the 2D pipeline (p=16)",
+            floatfmt=".3f",
+        )
+    )
+    print(
+        "\nLower keep probabilities cut the counting work roughly "
+        "quadratically\nwhile the error grows like keep_prob^-1.5 — the "
+        "classic DOULION trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Clustering coefficients of a social-network-like graph.
+
+The paper motivates triangle counting through the clustering coefficient
+and the transitivity ratio (Section 1).  This example builds a
+twitter-like graph (power-law degrees, triad formation) and a
+friendster-like graph (power-law, random wiring) and contrasts their
+clustering profiles, computed via the distributed triangle census on a
+3x3 simulated grid.
+
+Run:  python examples/clustering_coefficients.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import clustering_profile
+from repro.graph.generators import configuration_model, powerlaw_cluster_fast
+from repro.graph.stats import degree_summary
+from repro.instrument import format_table
+
+
+def main() -> None:
+    graphs = {
+        "twitter-like (triad formation)": powerlaw_cluster_fast(
+            3000, 8, 0.5, seed=11
+        ),
+        "friendster-like (random wiring)": configuration_model(
+            6000, gamma=2.4, d_min=4, seed=11
+        ),
+    }
+    rows = []
+    for name, g in graphs.items():
+        print(f"{name}: {degree_summary(g)}")
+        prof = clustering_profile(g, p=9)
+        hubs = np.argsort(g.degrees)[-5:]
+        rows.append(
+            (
+                name,
+                prof.triangles,
+                prof.average,
+                prof.transitivity,
+                float(prof.local[hubs].mean()),
+            )
+        )
+    print()
+    print(
+        format_table(
+            [
+                "graph",
+                "triangles",
+                "avg clustering",
+                "transitivity",
+                "hub clustering",
+            ],
+            rows,
+            title="Clustering profiles via the distributed 2D census (p=9)",
+            floatfmt=".4f",
+        )
+    )
+    print(
+        "\nThe triad-formation graph clusters an order of magnitude more "
+        "strongly,\nwhich is exactly the twitter/friendster contrast behind "
+        "the paper's Table 1\n(34.8e9 vs 0.19e6 triangles at comparable "
+        "edge counts)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Run every distributed algorithm in the repository on one graph.
+
+Reproduces the flavor of the paper's Tables 5-6 at example scale: the 2D
+algorithm against the HavoqGT-style wedge checker and the three 1D
+competitors, all on the same simulated machine so their modeled times are
+directly comparable — and all required to produce the identical count.
+
+Run:  python examples/compare_baselines.py [dataset] [p]
+      (defaults: g500-s12, 16 ranks)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines import (
+    count_triangles_aop,
+    count_triangles_havoq,
+    count_triangles_psp,
+    count_triangles_surrogate,
+)
+from repro.bench.calibration import paper_model
+from repro.core import count_triangles_2d, count_triangles_summa
+from repro.graph import load_dataset, triangle_count_linalg
+from repro.graph.stats import degree_summary
+from repro.instrument import format_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "g500-s12"
+    p = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    g = load_dataset(name)
+    print(f"dataset {name}: {degree_summary(g)}")
+    oracle = triangle_count_linalg(g)
+    print(f"serial oracle: {oracle:,} triangles\n")
+
+    model = paper_model()
+    import math
+
+    q = math.isqrt(p)
+    runs = [
+        ("2D Cannon (this paper)", count_triangles_2d(g, p, model=model)),
+        ("SUMMA rectangular", count_triangles_summa(g, max(1, q // 1), p // max(1, q), model=model)),
+        ("AOP (1D, replicated)", count_triangles_aop(g, p, model=model)),
+        ("Surrogate (1D, push)", count_triangles_surrogate(g, p, model=model)),
+        ("OPT-PSP (1D, blocked)", count_triangles_psp(g, p, model=model)),
+        ("Havoq (wedge check)", count_triangles_havoq(g, p, model=model)),
+    ]
+    rows = []
+    for label, res in runs:
+        status = "ok" if res.count == oracle else "WRONG"
+        rows.append(
+            (
+                label,
+                res.count,
+                status,
+                res.ppt_time * 1e3,
+                res.tct_time * 1e3,
+                res.overall_time * 1e3,
+            )
+        )
+    print(
+        format_table(
+            ["algorithm", "count", "check", "prep (ms)", "count (ms)", "total (ms)"],
+            rows,
+            title=f"All algorithms on {name} at p={p} (simulated milliseconds)",
+            floatfmt=".3f",
+        )
+    )
+    fastest = min(runs, key=lambda kv: kv[1].overall_time)
+    print(f"\nfastest overall: {fastest[0]}")
+
+
+if __name__ == "__main__":
+    main()

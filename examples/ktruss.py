@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""k-truss decomposition on top of the distributed support kernel.
+
+Truss decomposition is one of the paper's motivating applications
+(Section 1, citing [20]); its inner loop is exactly the per-edge triangle
+support that our 2D census computes.  This example plants a dense
+community inside a sparse background graph and shows that increasing
+``k`` peels away the background and recovers the community.
+
+Run:  python examples/ktruss.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import ktruss_decomposition, max_truss
+from repro.graph import Graph, erdos_renyi_gnm
+from repro.instrument import format_table
+
+
+def planted_community(seed: int = 4) -> tuple[Graph, set[int]]:
+    """A sparse G(n, m) background with a 14-clique planted inside."""
+    background = erdos_renyi_gnm(400, 1200, seed=seed)
+    clique = list(range(40, 54))
+    extra = np.array(
+        [(u, v) for i, u in enumerate(clique) for v in clique[i + 1 :]]
+    )
+    edges = np.concatenate([background.edge_array(), extra])
+    return Graph.from_edges(400, edges), set(clique)
+
+
+def main() -> None:
+    g, community = planted_community()
+    print(f"graph: n={g.n} m={g.num_edges} (14-clique planted on 40..53)\n")
+
+    rows = []
+    for k in (3, 4, 6, 8, 10, 12, 14):
+        truss = ktruss_decomposition(g, k, p=4)
+        members = {int(v) for e in truss.edge_array() for v in e}
+        inside = len(members & community)
+        rows.append((k, truss.num_edges, len(members), inside))
+    print(
+        format_table(
+            ["k", "truss edges", "vertices", "of which planted"],
+            rows,
+            title="k-truss peeling (support via the 2D distributed census, p=4)",
+        )
+    )
+
+    kmax, truss = max_truss(g, p=4)
+    members = sorted({int(v) for e in truss.edge_array() for v in e})
+    print(f"\nmaximum non-empty truss: k = {kmax}")
+    print(f"its vertices: {members}")
+    found = set(members) == community
+    print(
+        "the planted 14-clique is exactly the maximal truss"
+        if found
+        else "note: background edges merged into the top truss this seed"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: count triangles with the 2D distributed algorithm.
+
+Generates a small RMAT graph, counts its triangles serially (the oracle)
+and with the 2D algorithm on a 4x4 simulated-MPI grid, and prints the
+phase breakdown the paper reports (preprocessing vs triangle counting).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import TC2DConfig, count_triangles_2d, rmat_graph, triangle_count_linalg
+from repro.graph.stats import degree_summary
+
+
+def main() -> None:
+    print("Generating an RMAT graph (graph500 parameters, scale 12)...")
+    g = rmat_graph(scale=12, edge_factor=16, seed=7)
+    print(f"  {degree_summary(g)}")
+
+    oracle = triangle_count_linalg(g)
+    print(f"\nSerial oracle count: {oracle:,} triangles")
+
+    print("\nRunning the 2D algorithm on a 4x4 grid (16 simulated ranks)...")
+    result = count_triangles_2d(g, p=16, dataset="rmat-s12")
+    print(f"  distributed count : {result.count:,}")
+    print(f"  preprocessing     : {result.ppt_time * 1e3:8.3f} ms (simulated)")
+    print(f"  triangle counting : {result.tct_time * 1e3:8.3f} ms (simulated)")
+    print(f"  overall           : {result.overall_time * 1e3:8.3f} ms (simulated)")
+    print(f"  comm share (tct)  : {result.comm_fraction_tct:.1%}")
+    print(f"  map tasks         : {result.tasks_total:,.0f}")
+    print(f"  hash fast builds  : {result.hash_fast_builds:,} / {result.hash_builds:,}")
+    assert result.count == oracle, "distributed result must match the oracle"
+
+    print("\nSame run without the paper's Section 5.2 optimizations...")
+    plain = count_triangles_2d(
+        g,
+        p=16,
+        cfg=TC2DConfig(doubly_sparse=False, modified_hashing=False, early_stop=False),
+    )
+    slowdown = plain.tct_time / result.tct_time
+    print(f"  counting time grows {slowdown:.2f}x without them")
+    print("\nOK: counts agree; optimizations only change the time, never the count.")
+
+
+if __name__ == "__main__":
+    main()

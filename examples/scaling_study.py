@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Strong-scaling study: sweep grid sizes like the paper's Table 2.
+
+Counts the triangles of one dataset at every perfect-square rank count
+from 16 to 169, printing runtimes, speedups and efficiencies, plus an
+ASCII efficiency plot (the paper's Figure 1 for one dataset).
+
+Run:  python examples/scaling_study.py [dataset]
+      (default dataset: g500-s13; see repro.graph.dataset_names())
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.calibration import paper_model
+from repro.core import count_triangles_2d
+from repro.graph import load_dataset
+from repro.graph.stats import degree_summary
+from repro.instrument import ascii_chart, format_table
+
+RANKS = (16, 25, 36, 49, 64, 81, 100, 121, 144, 169)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "g500-s13"
+    g = load_dataset(name)
+    print(f"dataset {name}: {degree_summary(g)}\n")
+
+    model = paper_model()
+    results = []
+    for p in RANKS:
+        res = count_triangles_2d(g, p, model=model, dataset=name)
+        results.append(res)
+        print(f"  p={p:3d} done: {res.summary()}")
+
+    base = results[0]
+    rows = []
+    eff_series: dict[str, list[tuple[float, float]]] = {
+        "ppt": [],
+        "tct": [],
+        "overall": [],
+    }
+    for r in results:
+        speedup = base.overall_time / r.overall_time
+        rows.append(
+            (
+                r.p,
+                r.ppt_time * 1e3,
+                r.tct_time * 1e3,
+                r.overall_time * 1e3,
+                speedup,
+                16 * speedup / r.p,
+            )
+        )
+        f = base.p / r.p
+        eff_series["ppt"].append((r.p, f * base.ppt_time / r.ppt_time))
+        eff_series["tct"].append((r.p, f * base.tct_time / r.tct_time))
+        eff_series["overall"].append((r.p, f * base.overall_time / r.overall_time))
+
+    print()
+    print(
+        format_table(
+            ["ranks", "ppt (ms)", "tct (ms)", "overall (ms)", "speedup", "efficiency"],
+            rows,
+            title=f"Strong scaling of {name} (simulated time, baseline = 16 ranks)",
+        )
+    )
+    print()
+    print(
+        ascii_chart(
+            eff_series,
+            title=f"Efficiency vs ranks [{name}]",
+            xlabel="ranks",
+            ylabel="eff",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so
+PEP 660 editable installs (`pip install -e .`) fail with
+``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (or
+``python setup.py develop``) work offline.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — reproduction of "A 2D Parallel Triangle Counting Algorithm for
+Distributed-Memory Architectures" (Tom & Karypis, ICPP 2019).
+
+Quickstart::
+
+    from repro import rmat_graph, count_triangles_2d
+
+    g = rmat_graph(scale=12, seed=0)
+    result = count_triangles_2d(g, p=16)
+    print(result.count, result.tct_time)
+
+Packages:
+
+* :mod:`repro.core` — the 2D cyclic / Cannon-pattern algorithm and its
+  SUMMA extension;
+* :mod:`repro.simmpi` — the deterministic simulated-MPI runtime the
+  distributed algorithms execute on;
+* :mod:`repro.graph` — CSR structures, generators, IO, datasets;
+* :mod:`repro.hashing` — the map-based intersection hash table;
+* :mod:`repro.baselines` — serial references and the 1D/wedge competitors;
+* :mod:`repro.bench` — harness regenerating the paper's tables/figures;
+* :mod:`repro.instrument` — counters and report formatting.
+"""
+
+from repro.core import (
+    TC2DConfig,
+    TriangleCountResult,
+    count_triangles_2d,
+    count_triangles_summa,
+)
+from repro.graph import (
+    CSR,
+    Graph,
+    erdos_renyi_gnm,
+    load_dataset,
+    rmat_graph,
+    triangle_count_linalg,
+)
+from repro.simmpi import CacheModel, Engine, MachineModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSR",
+    "CacheModel",
+    "Engine",
+    "Graph",
+    "MachineModel",
+    "TC2DConfig",
+    "TriangleCountResult",
+    "count_triangles_2d",
+    "count_triangles_summa",
+    "erdos_renyi_gnm",
+    "load_dataset",
+    "rmat_graph",
+    "triangle_count_linalg",
+    "__version__",
+]

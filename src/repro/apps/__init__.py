@@ -1,0 +1,13 @@
+"""Applications built on the triangle kernels (the paper's Section 1
+motivations): clustering coefficients, transitivity, and k-truss
+decomposition."""
+
+from repro.apps.clustering import clustering_profile, ClusteringProfile
+from repro.apps.ktruss import ktruss_decomposition, max_truss
+
+__all__ = [
+    "ClusteringProfile",
+    "clustering_profile",
+    "ktruss_decomposition",
+    "max_truss",
+]

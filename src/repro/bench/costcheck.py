@@ -1,0 +1,103 @@
+"""Section 5.4 cost-analysis verification.
+
+The paper derives per-rank time complexities for the two phases:
+
+* preprocessing: ``T_pre ~ p + m/p + n/p + log p + dmax + dmax*log p``
+* counting:      ``T_tc  ~ d_avg * (n/sqrt(p)) * (d_avg/sqrt(p) + 1)``
+
+This module evaluates those formulas for a dataset across a rank sweep,
+fits the single free scale constant per phase by least squares against
+the measured (simulated) times, and reports the agreement, letting the
+benchmark assert that the analytical model explains the measured scaling
+— which is precisely the role Section 7.1 gives the analysis ("in light
+of the analysis presented in Section 5.4, this scaling behavior was
+expected").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.counts import TriangleCountResult
+from repro.graph.csr import Graph
+
+
+def predict_ppt_shape(n: int, m: int, dmax: int, p: int) -> float:
+    """Unscaled T_pre(p) from the paper's preprocessing cost terms."""
+    logp = math.log2(max(2, p))
+    return p + m / p + n / p + logp + dmax + dmax * logp
+
+
+def predict_tct_shape(n: int, m: int, davg: float, p: int) -> float:
+    """Unscaled T_tc(p) from the paper's counting cost term."""
+    q = math.sqrt(p)
+    return davg * (n / q) * (davg / q + 1.0)
+
+
+@dataclass(frozen=True)
+class CostFit:
+    """Least-squares fit of one phase's analytical shape to measurements.
+
+    Attributes
+    ----------
+    phase:
+        ``"ppt"`` or ``"tct"``.
+    scale:
+        Fitted constant (seconds per shape unit).
+    correlation:
+        Pearson correlation between predicted and measured times over the
+        sweep (1.0 = the analysis explains the scaling perfectly).
+    max_ratio_error:
+        Worst-case ``max(pred/meas, meas/pred)`` after scaling.
+    points:
+        ``(p, measured_seconds, predicted_seconds)`` rows.
+    """
+
+    phase: str
+    scale: float
+    correlation: float
+    max_ratio_error: float
+    points: list[tuple[int, float, float]]
+
+
+def fit_phase(
+    graph: Graph, results: list[TriangleCountResult], phase: str
+) -> CostFit:
+    """Fit one phase's analytical shape to a sweep of results."""
+    n, m = graph.n, graph.num_edges
+    degs = graph.degrees
+    dmax = int(degs.max()) if n else 0
+    davg = float(degs.mean()) if n else 0.0
+    shapes = []
+    measured = []
+    for r in results:
+        if phase == "ppt":
+            shapes.append(predict_ppt_shape(n, m, dmax, r.p))
+            measured.append(r.ppt_time)
+        elif phase == "tct":
+            shapes.append(predict_tct_shape(n, m, davg, r.p))
+            measured.append(r.tct_time)
+        else:
+            raise ValueError(f"unknown phase {phase!r}")
+    shapes_arr = np.asarray(shapes)
+    meas_arr = np.asarray(measured)
+    scale = float((shapes_arr @ meas_arr) / (shapes_arr @ shapes_arr))
+    pred = scale * shapes_arr
+    if len(results) > 1 and meas_arr.std() > 0 and pred.std() > 0:
+        corr = float(np.corrcoef(pred, meas_arr)[0, 1])
+    else:
+        corr = 1.0
+    ratios = np.maximum(pred / meas_arr, meas_arr / pred)
+    return CostFit(
+        phase=phase,
+        scale=scale,
+        correlation=corr,
+        max_ratio_error=float(ratios.max()),
+        points=[
+            (r.p, float(t), float(q))
+            for r, t, q in zip(results, meas_arr, pred)
+        ],
+    )

@@ -1,0 +1,90 @@
+"""Builders for the paper's figures (1-3) on the scaled datasets.
+
+Figures are rendered as ASCII charts plus the underlying series, so the
+benchmark output is both human-readable and machine-checkable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.calibration import bench_ranks, paper_model
+from repro.bench.runner import sweep
+from repro.bench.tables import BIG_DATASET, TABLE2_DATASETS
+from repro.instrument.report import ascii_chart
+
+
+def fig1_efficiency(
+    datasets: Sequence[str] = TABLE2_DATASETS,
+    ranks: Sequence[int] | None = None,
+) -> tuple[str, dict]:
+    """Figure 1: efficiency (16*T16 / (p*Tp)) of ppt, tct and overall time
+    versus rank count, one panel per dataset."""
+    ranks = list(ranks) if ranks else list(bench_ranks())
+    model = paper_model()
+    panels = []
+    data: dict[str, dict[str, list[tuple[int, float]]]] = {}
+    for ds in datasets:
+        results = sweep(ds, ranks, model=model)
+        base = results[0]
+        series = {"ppt": [], "tct": [], "overall": []}
+        for r in results:
+            f = base.p / r.p
+            series["ppt"].append((r.p, f * base.ppt_time / r.ppt_time))
+            series["tct"].append((r.p, f * base.tct_time / r.tct_time))
+            series["overall"].append((r.p, f * base.overall_time / r.overall_time))
+        data[ds] = series
+        panels.append(
+            ascii_chart(
+                series,
+                title=f"Figure 1 (scaled) [{ds}]: efficiency vs ranks "
+                "(baseline: 4x4 grid)",
+                xlabel="ranks",
+                ylabel="eff",
+            )
+        )
+    return "\n\n".join(panels), data
+
+
+def fig2_op_rate(
+    dataset: str = BIG_DATASET, ranks: Sequence[int] | None = None
+) -> tuple[str, dict]:
+    """Figure 2: aggregate operation rate (kOps/s of simulated time) of the
+    preprocessing and counting phases versus rank count."""
+    ranks = list(ranks) if ranks else list(bench_ranks())
+    model = paper_model()
+    results = sweep(dataset, ranks, model=model)
+    series = {
+        "ppt": [(r.p, r.op_rate_kops("ppt")) for r in results],
+        "tct": [(r.p, r.op_rate_kops("tct")) for r in results],
+    }
+    chart = ascii_chart(
+        series,
+        title=f"Figure 2 (scaled) [{dataset}]: operation rate (kOps/s) vs ranks",
+        xlabel="ranks",
+        ylabel="kOps/s",
+    )
+    return chart, series
+
+
+def fig3_comm_fraction(
+    dataset: str = BIG_DATASET, ranks: Sequence[int] | None = None
+) -> tuple[str, dict]:
+    """Figure 3: percentage of phase time spent communicating vs ranks."""
+    ranks = list(ranks) if ranks else list(bench_ranks())
+    model = paper_model()
+    results = sweep(dataset, ranks, model=model)
+    series = {
+        "ppt": [(r.p, 100.0 * r.comm_fraction_ppt) for r in results],
+        "tct": [(r.p, 100.0 * r.comm_fraction_tct) for r in results],
+    }
+    chart = ascii_chart(
+        series,
+        title=(
+            f"Figure 3 (scaled) [{dataset}]: communication share of phase "
+            "time (%) vs ranks"
+        ),
+        xlabel="ranks",
+        ylabel="% comm",
+    )
+    return chart, series

@@ -1,0 +1,360 @@
+"""Builders for the paper's tables (1-6) on the scaled datasets.
+
+Each ``tableN`` function runs (or fetches memoized) experiments, returns a
+``(text, data)`` pair, and asserts nothing: shape assertions live in the
+benchmark tests so failures carry context.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines import (
+    count_triangles_aop,
+    count_triangles_havoq,
+    count_triangles_psp,
+    count_triangles_surrogate,
+)
+from repro.bench.calibration import bench_ranks, paper_model
+from repro.bench.paper_reference import DATASET_ANALOGUE
+from repro.bench.runner import run_point, sweep
+from repro.core import TC2DConfig
+from repro.graph.datasets import load_dataset
+from repro.graph.stats import triangle_count_linalg
+from repro.instrument.report import format_table
+
+#: Datasets standing in for the paper's Table 2 rows (s28, s29, twitter,
+#: friendster).
+TABLE2_DATASETS: tuple[str, ...] = (
+    "g500-s14",
+    "g500-s15",
+    "twitter-like",
+    "friendster-like",
+)
+
+#: The largest synthetic graph (the paper uses g500-s29 for Tables 3-4 and
+#: Figures 2-3); ours is its scaled analogue.
+BIG_DATASET = "g500-s15"
+
+#: Table 5 datasets (paper: s26, s27, s28, twitter, friendster).
+TABLE5_DATASETS: tuple[str, ...] = (
+    "g500-s12",
+    "g500-s13",
+    "g500-s14",
+    "twitter-like",
+    "friendster-like",
+)
+
+
+def table1(datasets: Sequence[str] | None = None) -> tuple[str, list[dict]]:
+    """Table 1: dataset summary (vertices, edges, triangles) with the
+    paper analogue each dataset stands in for."""
+    names = list(datasets) if datasets else list(TABLE5_DATASETS) + ["g500-s15"]
+    rows = []
+    data = []
+    seen = set()
+    for name in names:
+        if name in seen:
+            continue
+        seen.add(name)
+        g = load_dataset(name)
+        tri = triangle_count_linalg(g)
+        analogue = DATASET_ANALOGUE.get(name, "-")
+        rows.append((name, g.n, g.num_edges, tri, analogue))
+        data.append(
+            {
+                "dataset": name,
+                "vertices": g.n,
+                "edges": g.num_edges,
+                "triangles": tri,
+                "paper_analogue": analogue,
+            }
+        )
+    text = format_table(
+        ["graph", "#vertices", "#edges", "#triangles", "paper analogue"],
+        rows,
+        title="Table 1 (scaled): datasets used in the experiments",
+    )
+    return text, data
+
+
+def table2(
+    datasets: Sequence[str] = TABLE2_DATASETS,
+    ranks: Sequence[int] | None = None,
+) -> tuple[str, list[dict]]:
+    """Table 2: ppt/tct/overall simulated runtimes and relative speedups
+    over the 16-rank baseline, for every dataset and rank count."""
+    ranks = list(ranks) if ranks else list(bench_ranks())
+    model = paper_model()
+    rows = []
+    data = []
+    for ds in datasets:
+        results = sweep(ds, ranks, model=model)
+        base = results[0]
+        for r in results:
+            row = {
+                "dataset": ds,
+                "ranks": r.p,
+                "expected_speedup": r.p / base.p,
+                "ppt_ms": r.ppt_time * 1e3,
+                "ppt_speedup": base.ppt_time / r.ppt_time,
+                "tct_ms": r.tct_time * 1e3,
+                "tct_speedup": base.tct_time / r.tct_time,
+                "overall_ms": r.overall_time * 1e3,
+                "overall_speedup": base.overall_time / r.overall_time,
+                "count": r.count,
+            }
+            data.append(row)
+            rows.append(
+                (
+                    ds if r is results[0] else "",
+                    r.p,
+                    row["expected_speedup"],
+                    row["ppt_ms"],
+                    row["ppt_speedup"],
+                    row["tct_ms"],
+                    row["tct_speedup"],
+                    row["overall_ms"],
+                    row["overall_speedup"],
+                )
+            )
+    text = format_table(
+        [
+            "dataset",
+            "ranks",
+            "expected",
+            "ppt (ms)",
+            "ppt x",
+            "tct (ms)",
+            "tct x",
+            "overall (ms)",
+            "overall x",
+        ],
+        rows,
+        title=(
+            "Table 2 (scaled): parallel performance, 16-169 simulated MPI "
+            "ranks (simulated milliseconds; speedups relative to 16 ranks)"
+        ),
+    )
+    return text, data
+
+
+def table3(
+    dataset: str = BIG_DATASET, ranks: Sequence[int] = (25, 36)
+) -> tuple[str, list[dict]]:
+    """Table 3: triangle-counting load imbalance (max/avg per-rank compute
+    time over the shifts) at 25 and 36 ranks."""
+    model = paper_model()
+    rows = []
+    data = []
+    for p in ranks:
+        r = run_point(dataset, p, model=model)
+        per_rank: dict[int, float] = {}
+        for rec in r.shift_records:
+            per_rank[rec.rank] = per_rank.get(rec.rank, 0.0) + rec.compute_seconds
+        times = list(per_rank.values())
+        mx = max(times)
+        avg = sum(times) / len(times)
+        imb = mx / avg if avg > 0 else 1.0
+        rows.append((p, mx * 1e3, avg * 1e3, imb))
+        data.append(
+            {"ranks": p, "max_ms": mx * 1e3, "avg_ms": avg * 1e3, "imbalance": imb}
+        )
+    text = format_table(
+        ["ranks", "maximum runtime (ms)", "average runtime (ms)", "load imbalance"],
+        rows,
+        title=(
+            f"Table 3 (scaled): {dataset} per-rank counting compute time and "
+            "load imbalance"
+        ),
+        floatfmt=".3f",
+    )
+    return text, data
+
+
+def table4(
+    dataset: str = BIG_DATASET, ranks: Sequence[int] = (16, 25, 36)
+) -> tuple[str, list[dict]]:
+    """Table 4: growth of map-intersection task counts with rank count."""
+    model = paper_model()
+    rows = []
+    data = []
+    prev = None
+    for p in ranks:
+        r = run_point(dataset, p, model=model)
+        tasks = int(r.tasks_total)
+        growth = "" if prev is None else f"{(tasks - prev) / prev:.0%}"
+        rows.append((p, tasks, growth))
+        data.append({"ranks": p, "tasks": tasks, "growth": growth})
+        prev = tasks
+    text = format_table(
+        ["ranks used", "task counts", "increase vs previous"],
+        rows,
+        title=f"Table 4 (scaled): {dataset} map-intersection task growth",
+    )
+    return text, data
+
+
+def table5(
+    datasets: Sequence[str] = TABLE5_DATASETS,
+    p_ours: int = 169,
+    p_havoq: int = 169,
+) -> tuple[str, list[dict]]:
+    """Table 5: 2D algorithm vs the HavoqGT-style wedge-checking baseline.
+
+    Paper setup: Havoq on 1152 cores vs the 2D algorithm on 169; we give
+    both the same simulated rank count, which only favors the baseline.
+    """
+    model = paper_model()
+    rows = []
+    data = []
+    for ds in datasets:
+        ours = run_point(ds, p_ours, model=model)
+        g = load_dataset(ds)
+        hv = count_triangles_havoq(g, p_havoq, model=model, dataset=ds)
+        if hv.count != ours.count:
+            raise AssertionError(
+                f"havoq and tc2d disagree on {ds}: {hv.count} vs {ours.count}"
+            )
+        speedup = (hv.ppt_time + hv.tct_time) / ours.tct_time
+        rows.append(
+            (
+                ds,
+                hv.ppt_time * 1e3,
+                hv.tct_time * 1e3,
+                ours.tct_time * 1e3,
+                speedup,
+            )
+        )
+        data.append(
+            {
+                "dataset": ds,
+                "havoq_2core_ms": hv.ppt_time * 1e3,
+                "havoq_wedge_ms": hv.tct_time * 1e3,
+                "ours_tct_ms": ours.tct_time * 1e3,
+                "speedup": speedup,
+                "wedges": hv.extras.get("wedges_total", 0),
+            }
+        )
+    text = format_table(
+        [
+            "dataset",
+            "2core time (ms)",
+            "wedge counting (ms)",
+            "our runtime (ms)",
+            "speedup obtained",
+        ],
+        rows,
+        title=(
+            "Table 5 (scaled): comparison with the HavoqGT-style wedge "
+            "baseline (simulated ms)"
+        ),
+        floatfmt=".3f",
+    )
+    return text, data
+
+
+def table6(
+    dataset: str = "twitter-like",
+    p_ours: int = 169,
+    p_1d: int = 196,
+    p_psp: int = 64,
+) -> tuple[str, list[dict]]:
+    """Table 6: twitter-graph comparison against the 1D competitors.
+
+    Paper setup: AOP/Surrogate on 200 cores, OPT-PSP on 2048; we run the
+    1D baselines at 196 ranks (nearest square-ish analogue of 200) and
+    OPT-PSP at a reduced count (its ring is O(p) rounds).
+    """
+    model = paper_model()
+    g = load_dataset(dataset)
+    graph_bytes = int(g.adj.indices.nbytes + g.adj.indptr.nbytes)
+    ours = run_point(dataset, p_ours, model=model)
+    competitors = [
+        ("Our work (2D)", ours.overall_time, p_ours, ours.count, 1.0),
+    ]
+    aop = count_triangles_aop(g, p_1d, model=model, dataset=dataset)
+    aop_repl = 1.0 + aop.extras["ghost_bytes_total"] / graph_bytes
+    competitors.append(("AOP [1]", aop.overall_time, p_1d, aop.count, aop_repl))
+    sur = count_triangles_surrogate(g, p_1d, model=model, dataset=dataset)
+    competitors.append(("Surrogate [1]", sur.overall_time, p_1d, sur.count, 1.0))
+    psp = count_triangles_psp(g, p_psp, model=model, dataset=dataset)
+    competitors.append(("OPT-PSP [10]", psp.overall_time, p_psp, psp.count, 1.0))
+    for name, _t, _p, count, _r in competitors:
+        if count != ours.count:
+            raise AssertionError(f"{name} disagrees: {count} vs {ours.count}")
+    rows = [
+        (name, t * 1e3, p, f"{repl:.1f}x")
+        for (name, t, p, _c, repl) in competitors
+    ]
+    data = [
+        {
+            "algorithm": name,
+            "runtime_ms": t * 1e3,
+            "ranks": p,
+            "memory_replication": repl,
+        }
+        for (name, t, p, _c, repl) in competitors
+    ]
+    text = format_table(
+        ["algorithm", "runtime (ms)", "ranks used", "graph replication"],
+        rows,
+        title=(
+            f"Table 6 (scaled): {dataset} runtime vs 1D distributed-memory "
+            "approaches (simulated ms).  AOP's replication column is the "
+            "aggregate (owned + ghost) storage relative to one graph copy — "
+            "the memory overhead that gates it at the paper's scale"
+        ),
+        floatfmt=".3f",
+    )
+    return text, data
+
+
+def ablation_table(
+    dataset: str = BIG_DATASET, ranks: Sequence[int] = (16, 100)
+) -> tuple[str, list[dict]]:
+    """Section 7.3: triangle-counting-time reduction from each
+    optimization, at a small and a large rank count."""
+    model = paper_model()
+    rows = []
+    data = []
+    base_cfg = TC2DConfig()
+    for p in ranks:
+        base = run_point(dataset, p, cfg=base_cfg, model=model)
+        for label, cfg in TC2DConfig.ablations().items():
+            if cfg == base_cfg:
+                continue
+            variant = run_point(dataset, p, cfg=cfg, model=model)
+            if variant.count != base.count:
+                raise AssertionError(f"{label} changed the count on {dataset}")
+            # Reduction achieved BY the optimization = how much slower the
+            # variant without it is, relative to the variant.
+            reduction = 1.0 - base.tct_time / variant.tct_time
+            rows.append(
+                (p, label, base.tct_time * 1e3, variant.tct_time * 1e3, f"{reduction:.1%}")
+            )
+            data.append(
+                {
+                    "ranks": p,
+                    "variant": label,
+                    "baseline_tct_ms": base.tct_time * 1e3,
+                    "variant_tct_ms": variant.tct_time * 1e3,
+                    "reduction": reduction,
+                }
+            )
+    text = format_table(
+        [
+            "ranks",
+            "variant (feature disabled)",
+            "tct all-on (ms)",
+            "tct variant (ms)",
+            "reduction from feature",
+        ],
+        rows,
+        title=(
+            f"Section 7.3 (scaled): {dataset} optimization ablations "
+            "(how much each optimization reduces the counting time)"
+        ),
+        floatfmt=".3f",
+    )
+    return text, data

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the registered scaled datasets with their statistics.
+``count``
+    Count triangles of a named dataset or an edge-list file with any of
+    the implemented algorithms.
+``census``
+    Triangle enumeration summary: count, clustering, transitivity, top
+    vertices by triangle participation.
+``bench``
+    Regenerate one of the paper's tables/figures
+    (table1..table6, fig1, fig2, fig3, ablations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.graph.csr import Graph
+
+
+def _load_graph(spec: str, seed: int) -> Graph:
+    from repro.graph.datasets import REGISTRY, load_dataset
+    from repro.graph.io import read_edge_list
+
+    if spec in REGISTRY:
+        return load_dataset(spec, seed=seed)
+    path = Path(spec)
+    if path.exists():
+        return read_edge_list(path)
+    raise SystemExit(
+        f"unknown dataset {spec!r} (not in the registry and not a file); "
+        f"registered: {', '.join(REGISTRY)}"
+    )
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    from repro.bench.tables import table1
+    from repro.graph.datasets import dataset_names
+
+    text, _ = table1(dataset_names())
+    print(text)
+    return 0
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    from repro.baselines import (
+        count_triangles_aop,
+        count_triangles_havoq,
+        count_triangles_psp,
+        count_triangles_surrogate,
+    )
+    from repro.bench.calibration import paper_model
+    from repro.core import TC2DConfig, count_triangles_2d, count_triangles_summa
+    from repro.graph.stats import degree_summary, triangle_count_linalg
+
+    g = _load_graph(args.dataset, args.seed)
+    print(f"{args.dataset}: {degree_summary(g)}")
+    model = paper_model()
+    cfg = TC2DConfig(
+        enumeration=args.enumeration,
+        doubly_sparse=not args.no_doubly_sparse,
+        modified_hashing=not args.no_modified_hashing,
+        early_stop=not args.no_early_stop,
+        blob_serialization=not args.no_blob,
+    )
+    if args.algorithm == "tc2d":
+        res = count_triangles_2d(g, args.ranks, cfg=cfg, model=model)
+    elif args.algorithm == "summa":
+        pr = max(1, int(args.ranks**0.5))
+        while args.ranks % pr:
+            pr -= 1
+        res = count_triangles_summa(g, pr, args.ranks // pr, cfg=cfg, model=model)
+    elif args.algorithm == "aop":
+        res = count_triangles_aop(g, args.ranks, model=model)
+    elif args.algorithm == "surrogate":
+        res = count_triangles_surrogate(g, args.ranks, model=model)
+    elif args.algorithm == "psp":
+        res = count_triangles_psp(g, args.ranks, model=model)
+    elif args.algorithm == "havoq":
+        res = count_triangles_havoq(g, args.ranks, model=model)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown algorithm {args.algorithm}")
+
+    print(res.summary())
+    if args.verify:
+        want = triangle_count_linalg(g)
+        status = "OK" if want == res.count else f"MISMATCH (oracle: {want:,})"
+        print(f"verification vs linear-algebra oracle: {status}")
+        if want != res.count:
+            return 1
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.apps import clustering_profile
+    from repro.bench.calibration import paper_model
+    from repro.core.listing import triangle_census_2d
+
+    g = _load_graph(args.dataset, args.seed)
+    census = triangle_census_2d(g, args.ranks, model=paper_model())
+    prof = clustering_profile(g, p=args.ranks, model=paper_model())
+    print(f"triangles      : {census.count:,}")
+    print(f"transitivity   : {prof.transitivity:.6f}")
+    print(f"avg clustering : {prof.average:.6f}")
+    top = np.argsort(census.vertex_triangles)[-args.top :][::-1]
+    print(f"top {args.top} vertices by triangle participation:")
+    for v in top:
+        print(
+            f"  vertex {int(v):>8}  triangles={int(census.vertex_triangles[v]):>8}"
+            f"  degree={int(g.degrees[v])}"
+        )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import figures, tables
+
+    builders = {
+        "table1": lambda: tables.table1(),
+        "table2": lambda: tables.table2(),
+        "table3": lambda: tables.table3(),
+        "table4": lambda: tables.table4(),
+        "table5": lambda: tables.table5(),
+        "table6": lambda: tables.table6(),
+        "ablations": lambda: tables.ablation_table(),
+        "fig1": lambda: figures.fig1_efficiency(),
+        "fig2": lambda: figures.fig2_op_rate(),
+        "fig3": lambda: figures.fig3_comm_fraction(),
+    }
+    if args.experiment not in builders:
+        raise SystemExit(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(builders)}"
+        )
+    text, _ = builders[args.experiment]()
+    print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="2D parallel triangle counting (Tom & Karypis, ICPP 2019) "
+        "on a simulated distributed-memory machine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered datasets").set_defaults(
+        fn=_cmd_datasets
+    )
+
+    c = sub.add_parser("count", help="count triangles of a dataset/file")
+    c.add_argument("dataset", help="registry name or edge-list file path")
+    c.add_argument("--ranks", "-p", type=int, default=16)
+    c.add_argument(
+        "--algorithm",
+        "-a",
+        choices=["tc2d", "summa", "aop", "surrogate", "psp", "havoq"],
+        default="tc2d",
+    )
+    c.add_argument("--enumeration", choices=["jik", "ijk"], default="jik")
+    c.add_argument("--no-doubly-sparse", action="store_true")
+    c.add_argument("--no-modified-hashing", action="store_true")
+    c.add_argument("--no-early-stop", action="store_true")
+    c.add_argument("--no-blob", action="store_true")
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument(
+        "--verify", action="store_true", help="check against the serial oracle"
+    )
+    c.set_defaults(fn=_cmd_count)
+
+    s = sub.add_parser("census", help="triangle census / clustering summary")
+    s.add_argument("dataset")
+    s.add_argument("--ranks", "-p", type=int, default=4)
+    s.add_argument("--top", type=int, default=5)
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(fn=_cmd_census)
+
+    b = sub.add_parser("bench", help="regenerate a paper table/figure")
+    b.add_argument(
+        "experiment",
+        help="table1..table6, fig1, fig2, fig3 or ablations",
+    )
+    b.set_defaults(fn=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

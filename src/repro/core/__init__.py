@@ -1,0 +1,40 @@
+"""The paper's contribution: 2D-cyclic distributed triangle counting.
+
+Public entry points:
+
+* :func:`~repro.core.tc2d.count_triangles_2d` — run the full pipeline
+  (1D input -> cyclic redistribution -> degree reordering -> 2D cyclic
+  blocks -> Cannon-pattern counting) on the simulated-MPI substrate and
+  return counts, phase timings and instrumentation.
+* :class:`~repro.core.config.TC2DConfig` — feature toggles for the
+  enumeration scheme and the Section 5.2 optimizations (used by the
+  ablation benchmarks).
+* :func:`~repro.core.summa.count_triangles_summa` — the rectangular-grid
+  SUMMA variant sketched in the paper's conclusion.
+"""
+
+from repro.core.allgather_variant import count_triangles_2d_allgather
+from repro.core.approximate import ApproxResult, approx_count_triangles_2d
+from repro.core.balance import compare_distributions, task_distribution_stats
+from repro.core.config import TC2DConfig
+from repro.core.counts import ShiftRecord, TriangleCountResult
+from repro.core.grid import ProcessorGrid
+from repro.core.listing import TriangleCensus, triangle_census_2d
+from repro.core.tc2d import count_triangles_2d
+from repro.core.summa import count_triangles_summa
+
+__all__ = [
+    "ApproxResult",
+    "ProcessorGrid",
+    "ShiftRecord",
+    "TC2DConfig",
+    "TriangleCensus",
+    "TriangleCountResult",
+    "approx_count_triangles_2d",
+    "compare_distributions",
+    "count_triangles_2d",
+    "count_triangles_2d_allgather",
+    "count_triangles_summa",
+    "task_distribution_stats",
+    "triangle_census_2d",
+]

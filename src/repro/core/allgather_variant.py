@@ -1,0 +1,132 @@
+"""The collect-everything alternative the paper rejects (Section 5.1).
+
+Before settling on Cannon's pattern, the paper considers the obvious
+formulation: "having each processor first collect the necessary rows and
+column blocks of matrices U and L, respectively, and then proceed to
+perform the required computations — such an approach will increase the
+memory overhead of the algorithm."
+
+This module implements exactly that rejected design so the claim can be
+measured: rank (x, y) allgathers the full block row ``U_{x,*}`` along its
+grid row and the full block column ``L_{*,y}`` down its grid column, then
+counts every residue locally with zero further communication.  The
+counting result is identical; the per-rank memory high-water mark holds
+``2 * sqrt(p)`` travelling blocks instead of Cannon's 2 — the
+``sqrt(p)``-factor overhead the paper's memory-scalability argument is
+about (see ``benchmarks/test_memory_scalability.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.config import TC2DConfig
+from repro.core.counts import TriangleCountResult
+from repro.core.grid import ProcessorGrid
+from repro.core.intersect import count_block_pair
+from repro.core.preprocess import InputChunk, partition_1d, preprocess
+from repro.graph.csr import Graph
+from repro.simmpi import SUM, Engine, MachineModel
+from repro.simmpi.engine import RankContext
+
+
+def tc2d_allgather_rank_program(
+    ctx: RankContext, chunks: list[InputChunk], cfg: TC2DConfig
+) -> dict[str, Any]:
+    """SPMD program: preprocess as usual, then allgather instead of shift."""
+    comm = ctx.comm
+    grid = ProcessorGrid.for_ranks(comm.size)
+    q = grid.q
+    chunk = chunks[ctx.rank]
+
+    with ctx.phase("ppt"):
+        u_block, l_block, task_block = preprocess(ctx, chunk, grid, cfg)
+        for blk in (u_block, l_block, task_block):
+            ctx.alloc_mem(blk.nbytes_estimate())
+        comm.barrier()
+    counters_ppt = dict(ctx.counters)
+
+    x, y = grid.coords(ctx.rank)
+    local_count = 0
+    with ctx.phase("tct"):
+        # Collect the whole block row of U and block column of L up front.
+        row_comm = comm.split(color=x, key=y)
+        col_comm = comm.split(color=y, key=x)
+        u_blocks = row_comm.allgather(u_block)  # index j -> inner residue j
+        l_blocks = col_comm.allgather(l_block)  # index i -> inner residue i
+        for blk in u_blocks:
+            if blk is not u_block:
+                ctx.alloc_mem(blk.nbytes_estimate())
+        for blk in l_blocks:
+            if blk is not l_block:
+                ctx.alloc_mem(blk.nbytes_estimate())
+
+        for zp in range(q):
+            ub = u_blocks[zp]
+            lb = l_blocks[zp]
+            working_set = (
+                ub.nbytes_estimate()
+                + lb.nbytes_estimate()
+                + task_block.nbytes_estimate()
+            )
+            st = count_block_pair(task_block, ub, lb, cfg)
+            ctx.charge("row_visit", st.row_visits, working_set)
+            ctx.charge("task", st.tasks, working_set)
+            ctx.charge("hash_insert_fast", st.insert_steps_fast, working_set)
+            ctx.charge("hash_insert", st.insert_steps_slow, working_set)
+            ctx.charge("hash_probe_fast", st.probe_steps_fast, working_set)
+            ctx.charge("hash_probe", st.probe_steps_slow, working_set)
+            local_count += st.triangles
+        total = comm.allreduce(local_count, SUM)
+
+    counters_total = dict(ctx.counters)
+    counters_tct = {
+        k: counters_total.get(k, 0.0) - counters_ppt.get(k, 0.0)
+        for k in counters_total
+        if counters_total.get(k, 0.0) != counters_ppt.get(k, 0.0)
+    }
+    return {
+        "total": int(total),
+        "local": int(local_count),
+        "counters_ppt": counters_ppt,
+        "counters_tct": counters_tct,
+    }
+
+
+def count_triangles_2d_allgather(
+    graph: Graph,
+    p: int,
+    cfg: TC2DConfig | None = None,
+    model: MachineModel | None = None,
+    dataset: str = "",
+) -> TriangleCountResult:
+    """Run the rejected collect-first formulation (for comparison only).
+
+    Returns the same result record as the Cannon driver;
+    ``extras["mem_peak_bytes"]`` is where the two designs differ.
+    """
+    cfg = cfg if cfg is not None else TC2DConfig()
+    chunks = partition_1d(graph, p)
+    engine = Engine(p, model=model)
+    run = engine.run(tc2d_allgather_rank_program, chunks, cfg)
+    rets = run.returns
+    count = rets[0]["total"]
+    if sum(r["local"] for r in rets) != count:
+        raise AssertionError("allgather-variant local counts do not sum up")
+    result = TriangleCountResult(
+        count=count,
+        p=p,
+        dataset=dataset,
+        algorithm="tc2d-allgather",
+        ppt_time=run.phase_time("ppt"),
+        tct_time=run.phase_time("tct"),
+        comm_fraction_ppt=run.phase_comm_fraction("ppt"),
+        comm_fraction_tct=run.phase_comm_fraction("tct"),
+    )
+    from repro.instrument import merge_counters
+
+    result.counters_ppt = merge_counters([r["counters_ppt"] for r in rets])
+    result.counters_tct = merge_counters([r["counters_tct"] for r in rets])
+    result.extras["makespan"] = run.makespan
+    result.extras["mem_peak_bytes"] = max(run.mem_peaks) if run.mem_peaks else 0
+    return result

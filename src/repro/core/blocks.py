@@ -1,0 +1,176 @@
+"""2D block containers and their single-buffer ("blob") wire format.
+
+A rank on the grid holds three structures (Section 5.1):
+
+* its resident **task block** — the non-zeros of C[L] (or C[U] under ijk)
+  assigned to it by the cell-by-cell cyclic distribution, stored row-major;
+* a travelling **U block** — rows of U for its grid row's residue, columns
+  for the current inner residue z', stored row-major (the hashed side);
+* a travelling **L block** — columns of L for its grid column's residue,
+  rows for z', stored column-major (the probe side).
+
+The travelling blocks move with Cannon's pattern each step.  To avoid one
+message per constituent array (and per-array pickling), the paper converts
+each block to a single contiguous blob before the shifts begin
+(Section 5.2); :meth:`Block.to_blob` / :meth:`Block.from_blob` implement
+that, and :func:`exchange_block` falls back to one-message-per-array when
+the optimization is disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSR, INDEX_DTYPE
+from repro.graph.dcsr import DCSR
+
+_KIND_CODES = {"U-row": 0, "L-col": 1, "task": 2}
+_KIND_NAMES = {v: k for k, v in _KIND_CODES.items()}
+_HEADER_LEN = 6
+
+
+@dataclass
+class Block:
+    """One 2D block with enough metadata to keep shifting honest.
+
+    Attributes
+    ----------
+    kind:
+        ``"U-row"`` (row-major, hashed side), ``"L-col"`` (column-major,
+        probe side) or ``"task"`` (row-major resident tasks).
+    fixed_residue:
+        Residue class of the dimension pinned to this rank (grid row for U,
+        grid column for L).
+    inner_residue:
+        Residue class of the contracted dimension currently held; changes
+        as the block travels through the grid.
+    dcsr:
+        The actual entries; outer dimension = rows for ``U-row``/``task``,
+        columns for ``L-col``.
+    """
+
+    kind: str
+    fixed_residue: int
+    inner_residue: int
+    dcsr: DCSR
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KIND_CODES:
+            raise ValueError(f"unknown block kind {self.kind!r}")
+
+    @property
+    def nnz(self) -> int:
+        return self.dcsr.nnz
+
+    def nbytes_estimate(self) -> int:
+        return self.dcsr.nbytes_estimate() + 64
+
+    # -- blob wire format -----------------------------------------------------
+
+    def to_blob(self) -> np.ndarray:
+        """Pack the block into one contiguous int64 buffer.
+
+        Layout: [kind, fixed_residue, inner_residue, n_rows, n_cols, nnz]
+        ++ indptr ++ indices.  The non-empty-row list is recomputed on
+        arrival (cheaper than shipping it).
+        """
+        csr = self.dcsr.csr
+        header = np.array(
+            [
+                _KIND_CODES[self.kind],
+                self.fixed_residue,
+                self.inner_residue,
+                csr.n_rows,
+                csr.n_cols,
+                csr.nnz,
+            ],
+            dtype=INDEX_DTYPE,
+        )
+        return np.concatenate([header, csr.indptr, csr.indices])
+
+    @classmethod
+    def from_blob(cls, blob: np.ndarray) -> "Block":
+        """Inverse of :meth:`to_blob`."""
+        blob = np.asarray(blob, dtype=INDEX_DTYPE)
+        if len(blob) < _HEADER_LEN:
+            raise ValueError("blob too short for a block header")
+        kind_code, fixed, inner, n_rows, n_cols, nnz = (
+            int(x) for x in blob[:_HEADER_LEN]
+        )
+        if kind_code not in _KIND_NAMES:
+            raise ValueError(f"bad block kind code {kind_code}")
+        indptr_end = _HEADER_LEN + n_rows + 1
+        indptr = blob[_HEADER_LEN:indptr_end]
+        indices = blob[indptr_end : indptr_end + nnz]
+        if len(indices) != nnz:
+            raise ValueError("blob truncated: indices shorter than header claims")
+        return cls(
+            kind=_KIND_NAMES[kind_code],
+            fixed_residue=fixed,
+            inner_residue=inner,
+            dcsr=DCSR(CSR(n_rows, indptr.copy(), indices.copy(), n_cols=n_cols)),
+        )
+
+
+def build_block(
+    kind: str,
+    fixed_residue: int,
+    inner_residue: int,
+    n_outer: int,
+    n_inner: int,
+    outer_local: np.ndarray,
+    inner_local: np.ndarray,
+) -> Block:
+    """Assemble a block from local-index coordinate pairs.
+
+    ``outer_local`` indexes the dimension this structure is compressed on
+    (rows for U/task, columns for L); entries end up sorted within each
+    outer index, which the early-stop optimization requires.  ``n_inner``
+    bounds the entry ids (the inner dimension's local extent).
+    """
+    return Block(
+        kind=kind,
+        fixed_residue=fixed_residue,
+        inner_residue=inner_residue,
+        dcsr=DCSR.from_coo(n_outer, outer_local, inner_local, n_cols=n_inner),
+    )
+
+
+def exchange_block(comm, block: Block, dest: int, src: int, blob: bool, tag: int):
+    """Send ``block`` to ``dest`` and receive the incoming block from
+    ``src`` (one Cannon skew or shift step for one operand).
+
+    With ``blob`` the block travels as a single message; without it, the
+    metadata, indptr and indices arrays travel as three separate messages,
+    each paying its own latency and envelope — the cost the Section 5.2
+    blob optimization removes.
+    """
+    if blob:
+        out = block.to_blob()
+        incoming = comm.sendrecv(out, dest=dest, source=src, sendtag=tag, recvtag=tag)
+        return Block.from_blob(incoming)
+    csr = block.dcsr.csr
+    comm.send(
+        (
+            _KIND_CODES[block.kind],
+            block.fixed_residue,
+            block.inner_residue,
+            csr.n_rows,
+            csr.n_cols,
+        ),
+        dest,
+        tag=tag,
+    )
+    comm.send(csr.indptr, dest, tag=tag + 1)
+    comm.send(csr.indices, dest, tag=tag + 2)
+    kind_code, fixed, inner, n_rows, n_cols = comm.recv(source=src, tag=tag)
+    indptr = comm.recv(source=src, tag=tag + 1)
+    indices = comm.recv(source=src, tag=tag + 2)
+    return Block(
+        kind=_KIND_NAMES[kind_code],
+        fixed_residue=fixed,
+        inner_residue=inner,
+        dcsr=DCSR(CSR(n_rows, indptr, indices, n_cols=n_cols)),
+    )

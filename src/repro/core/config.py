@@ -1,0 +1,92 @@
+"""Configuration of the 2D triangle-counting pipeline.
+
+Every Section 5.2/5.3 design choice is a toggle here so the Section 7.3
+ablation benchmarks can switch individual optimizations off and measure the
+modeled-runtime delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+#: Valid enumeration schemes (Section 3.1): "jik" hashes the higher-degree
+#: endpoint's list once per task row (the paper's winning choice); "ijk"
+#: hashes the lower-degree endpoint and probes with the long lists.
+ENUMERATIONS = ("jik", "ijk")
+
+
+@dataclass(frozen=True)
+class TC2DConfig:
+    """Feature toggles and tuning knobs for :func:`count_triangles_2d`.
+
+    Attributes
+    ----------
+    enumeration:
+        ``"jik"`` (tasks = non-zeros of L, hash U's rows) or ``"ijk"``
+        (tasks = non-zeros of U).  Section 7.3 reports jik cutting the
+        counting time by 72.8%.
+    doubly_sparse:
+        Iterate only non-empty task rows via the DCSR auxiliary list
+        (Section 5.2 "doubly sparse traversal"); off = visit every local
+        row each shift.
+    modified_hashing:
+        Allow the direct-bitmask fast path for fragments that fit the map
+        without collisions (Section 5.2 "modifying the hashing routine").
+    early_stop:
+        Skip probe candidates below the hashed fragment's minimum id
+        (Section 5.2 "eliminating unnecessary intersection operations").
+    blob_serialization:
+        Pack each block into one contiguous byte buffer before shifting so
+        a shift is one message instead of one per array (Section 5.2
+        "reducing overheads associated with communication").
+    initial_cyclic:
+        Perform the initial 1D cyclic redistribution + relabeling
+        (Section 5.3) to break up localized dense vertex clusters.
+    degree_reorder:
+        Reorder vertices by non-decreasing degree with the distributed
+        counting sort (Section 5.3).  Off is only useful for studying how
+        much the ordering matters; the U/L split then uses (degree, id)
+        comparisons directly.
+    hashmap_slack:
+        Hash-map capacity as a multiple of the longest local fragment.
+    track_per_shift:
+        Record per-shift compute spans (Table 3) — small overhead.
+    """
+
+    enumeration: str = "jik"
+    doubly_sparse: bool = True
+    modified_hashing: bool = True
+    early_stop: bool = True
+    blob_serialization: bool = True
+    initial_cyclic: bool = True
+    degree_reorder: bool = True
+    hashmap_slack: int = 1
+    track_per_shift: bool = True
+
+    def __post_init__(self) -> None:
+        if self.enumeration not in ENUMERATIONS:
+            raise ValueError(
+                f"enumeration must be one of {ENUMERATIONS}, "
+                f"got {self.enumeration!r}"
+            )
+        if self.hashmap_slack < 1:
+            raise ValueError("hashmap_slack must be >= 1")
+
+    def replace(self, **kwargs: Any) -> "TC2DConfig":
+        """Copy with some fields replaced (ablation helper)."""
+        return replace(self, **kwargs)
+
+    #: Configurations used by the Section 7.3 ablation bench.
+    @classmethod
+    def ablations(cls) -> dict[str, "TC2DConfig"]:
+        """Named variants: baseline plus one-feature-off configurations."""
+        base = cls()
+        return {
+            "baseline (all optimizations)": base,
+            "no doubly-sparse traversal": base.replace(doubly_sparse=False),
+            "no modified hashing": base.replace(modified_hashing=False),
+            "no early-stop": base.replace(early_stop=False),
+            "no blob serialization": base.replace(blob_serialization=False),
+            "ijk enumeration": base.replace(enumeration="ijk"),
+        }

@@ -1,0 +1,171 @@
+"""Result records returned by the distributed triangle-counting drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ShiftRecord:
+    """Per-(rank, shift) compute record (feeds Table 3's load-imbalance
+    analysis).
+
+    Attributes
+    ----------
+    shift:
+        Cannon step index z in ``0..q-1``.
+    rank:
+        World rank.
+    compute_seconds:
+        Modeled compute time the rank spent in this shift's kernel.
+    tasks:
+        Number of (j, i) tasks that reached the map-based intersection in
+        this shift on this rank (Table 4's counter).
+    """
+
+    shift: int
+    rank: int
+    compute_seconds: float
+    tasks: int
+
+
+@dataclass
+class TriangleCountResult:
+    """Everything a full pipeline run reports.
+
+    Times are *simulated seconds* from the machine model; counters are
+    exact operation counts independent of the model.
+    """
+
+    count: int
+    p: int
+    dataset: str = ""
+    algorithm: str = "tc2d"
+    ppt_time: float = 0.0
+    tct_time: float = 0.0
+    counters_ppt: dict[str, float] = field(default_factory=dict)
+    counters_tct: dict[str, float] = field(default_factory=dict)
+    comm_fraction_ppt: float = 0.0
+    comm_fraction_tct: float = 0.0
+    shift_records: list[ShiftRecord] = field(default_factory=list)
+    hash_builds: int = 0
+    hash_fast_builds: int = 0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def overall_time(self) -> float:
+        """Preprocessing plus triangle counting, the paper's "overall"."""
+        return self.ppt_time + self.tct_time
+
+    @property
+    def tasks_total(self) -> float:
+        """Total map-intersection tasks across ranks and shifts (Table 4)."""
+        return self.counters_tct.get("task", 0.0)
+
+    @property
+    def probes_total(self) -> float:
+        """Total hash-probe steps in the counting phase (both map modes)."""
+        return self.counters_tct.get("hash_probe", 0.0) + self.counters_tct.get(
+            "hash_probe_fast", 0.0
+        )
+
+    def ops_total(self, phase: str) -> float:
+        """All operation counts in a phase ("ppt" or "tct") summed."""
+        src = self.counters_ppt if phase == "ppt" else self.counters_tct
+        return float(sum(src.values()))
+
+    def op_rate_kops(self, phase: str) -> float:
+        """Aggregate operation rate in kOps/s for a phase (Figure 2)."""
+        t = self.ppt_time if phase == "ppt" else self.tct_time
+        if t <= 0:
+            return 0.0
+        return self.ops_total(phase) / t / 1e3
+
+    def shift_imbalance(self) -> list[tuple[int, float, float, float]]:
+        """Per-shift (shift, max, avg, max/avg) of rank compute times
+        (Table 3's load-imbalance metric)."""
+        by_shift: dict[int, list[float]] = {}
+        for rec in self.shift_records:
+            by_shift.setdefault(rec.shift, []).append(rec.compute_seconds)
+        out = []
+        for z in sorted(by_shift):
+            times = by_shift[z]
+            mx = max(times)
+            avg = sum(times) / len(times)
+            out.append((z, mx, avg, mx / avg if avg > 0 else 1.0))
+        return out
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm} p={self.p} {self.dataset}: count={self.count:,} "
+            f"ppt={self.ppt_time:.4f}s tct={self.tct_time:.4f}s "
+            f"overall={self.overall_time:.4f}s"
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dict of everything in the record.
+
+        Round-trips through :meth:`from_dict`; used by the benchmark
+        harness to persist sweep results.
+        """
+        return {
+            "count": self.count,
+            "p": self.p,
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "ppt_time": self.ppt_time,
+            "tct_time": self.tct_time,
+            "counters_ppt": dict(self.counters_ppt),
+            "counters_tct": dict(self.counters_tct),
+            "comm_fraction_ppt": self.comm_fraction_ppt,
+            "comm_fraction_tct": self.comm_fraction_tct,
+            "shift_records": [
+                [r.shift, r.rank, r.compute_seconds, r.tasks]
+                for r in self.shift_records
+            ],
+            "hash_builds": self.hash_builds,
+            "hash_fast_builds": self.hash_fast_builds,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TriangleCountResult":
+        """Inverse of :meth:`to_dict` (``extras`` are not persisted)."""
+        return cls(
+            count=int(d["count"]),
+            p=int(d["p"]),
+            dataset=d.get("dataset", ""),
+            algorithm=d.get("algorithm", "tc2d"),
+            ppt_time=float(d["ppt_time"]),
+            tct_time=float(d["tct_time"]),
+            counters_ppt=dict(d.get("counters_ppt", {})),
+            counters_tct=dict(d.get("counters_tct", {})),
+            comm_fraction_ppt=float(d.get("comm_fraction_ppt", 0.0)),
+            comm_fraction_tct=float(d.get("comm_fraction_tct", 0.0)),
+            shift_records=[
+                ShiftRecord(
+                    shift=int(s), rank=int(r), compute_seconds=float(t), tasks=int(k)
+                )
+                for (s, r, t, k) in d.get("shift_records", [])
+            ],
+            hash_builds=int(d.get("hash_builds", 0)),
+            hash_fast_builds=int(d.get("hash_fast_builds", 0)),
+        )
+
+    def save_json(self, path) -> None:
+        """Write the record to a JSON file."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+
+    @classmethod
+    def load_json(cls, path) -> "TriangleCountResult":
+        """Read a record written by :meth:`save_json`."""
+        import json
+        from pathlib import Path
+
+        return cls.from_dict(json.loads(Path(path).read_text()))

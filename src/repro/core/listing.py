@@ -1,0 +1,272 @@
+"""Triangle enumeration and per-edge/per-vertex census on the 2D pipeline.
+
+The paper motivates triangle counting as the kernel inside k-truss
+decomposition, clustering coefficients and transitivity (Section 1).
+Those applications need more than the global count: k-truss needs the
+*support* of every edge (how many triangles contain it) and clustering
+coefficients need per-vertex triangle counts.  This module extends the 2D
+Cannon pipeline to produce them:
+
+* the intersection kernel additionally *enumerates* each closing vertex,
+  yielding every triangle exactly once as an ordered triple
+  ``i < j < k`` (in degree-order labels);
+* triples are translated back to the caller's original vertex ids via the
+  gathered preprocessing permutation;
+* :func:`triangle_census_2d` aggregates them into per-edge supports and
+  per-vertex counts.
+
+Enumeration necessarily materializes one record per triangle, so this
+path targets graphs whose triangle count fits memory (the counting-only
+path in :mod:`repro.core.tc2d` has no such limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.blocks import exchange_block
+from repro.core.config import TC2DConfig
+from repro.core.grid import ProcessorGrid
+from repro.core.intersect import count_block_pair
+from repro.core.preprocess import (
+    InputChunk,
+    chunk_bounds,
+    cyclic_bounds,
+    partition_1d,
+    preprocess_with_labels,
+)
+from repro.graph.csr import INDEX_DTYPE, Graph
+from repro.hashing import BlockHashMap
+from repro.simmpi import SUM, Engine, MachineModel
+from repro.simmpi.engine import RankContext
+
+
+@dataclass
+class TriangleCensus:
+    """Result of :func:`triangle_census_2d`.
+
+    Attributes
+    ----------
+    count:
+        Exact global triangle count (== ``len(triangles)``).
+    triangles:
+        ``(count, 3)`` array of vertex ids in the graph's original label
+        space; each triangle appears exactly once (rows are unordered
+        vertex sets, internally emitted as degree-ordered triples).
+    edge_support:
+        ``(m,)`` support per edge, aligned with ``edges``.
+    edges:
+        ``(m, 2)`` canonical edge list (original ids, u < v).
+    vertex_triangles:
+        ``(n,)`` number of triangles incident on each vertex.
+    """
+
+    count: int
+    triangles: np.ndarray
+    edge_support: np.ndarray
+    edges: np.ndarray
+    vertex_triangles: np.ndarray
+
+
+def _enumerate_block_pair(task_block, u_block, l_block, cfg, q: int):
+    """Like the counting kernel, but emits the closing triples.
+
+    Returns ``(n_triangles, triples)`` with triples as a ``(t, 3)`` array
+    of *global label2* ids ``(i, j, k)`` where (j, i) is the task edge and
+    k the closing vertex (i < j < k in degree order).
+    """
+    t = task_block.dcsr
+    U = u_block.dcsr
+    L = l_block.dcsr
+    if u_block.inner_residue != l_block.inner_residue:
+        raise ValueError("operand blocks misaligned in enumeration kernel")
+    x = task_block.fixed_residue
+    y = task_block.inner_residue
+    zp = u_block.inner_residue
+
+    cap = max(4, cfg.hashmap_slack * max(1, U.max_row_length()))
+    hm = BlockHashMap(cap)
+    out_i: list[np.ndarray] = []
+    out_j: list[np.ndarray] = []
+    out_k: list[np.ndarray] = []
+
+    l_indptr, l_indices = L.indptr, L.indices
+    t_indptr, t_indices = t.indptr, t.indices
+    row_iter = t.nonempty_rows if cfg.doubly_sparse else range(t.n_rows)
+    for j_local in row_iter:
+        j_local = int(j_local)
+        t_lo, t_hi = int(t_indptr[j_local]), int(t_indptr[j_local + 1])
+        if t_lo == t_hi:
+            continue
+        urow = U.row(j_local)
+        if len(urow) == 0:
+            continue
+        tcols = t_indices[t_lo:t_hi]
+        starts = l_indptr[tcols]
+        lens = (l_indptr[tcols + 1] - starts).astype(INDEX_DTYPE)
+        total = int(lens.sum())
+        if total == 0:
+            continue
+        from repro.core.arrayutil import multirange
+
+        gather = multirange(starts, lens)
+        vals = l_indices[gather]
+        probe_task = np.repeat(tcols, lens)
+        if cfg.early_stop:
+            keep = vals >= urow[0]
+            vals = vals[keep]
+            probe_task = probe_task[keep]
+        if len(vals) == 0:
+            continue
+        hm.build(urow, allow_fast=cfg.modified_hashing)
+        mask = hm.hit_mask(vals)
+        if not mask.any():
+            continue
+        k_loc = vals[mask]
+        i_loc = probe_task[mask]
+        out_i.append(i_loc * q + y)
+        out_j.append(np.full(len(k_loc), j_local * q + x, dtype=INDEX_DTYPE))
+        out_k.append(k_loc * q + zp)
+
+    if not out_i:
+        return 0, np.empty((0, 3), dtype=INDEX_DTYPE)
+    triples = np.stack(
+        [np.concatenate(out_i), np.concatenate(out_j), np.concatenate(out_k)],
+        axis=1,
+    )
+    return len(triples), triples
+
+
+def _census_rank_program(
+    ctx: RankContext, chunks: list[InputChunk], cfg: TC2DConfig
+):
+    comm = ctx.comm
+    grid = ProcessorGrid.for_ranks(comm.size)
+    q = grid.q
+    chunk = chunks[ctx.rank]
+
+    with ctx.phase("ppt"):
+        (u_block, l_block, task_block), label_info = preprocess_with_labels(
+            ctx, chunk, grid, cfg
+        )
+        comm.barrier()
+
+    x, y = grid.coords(ctx.rank)
+    triples_parts: list[np.ndarray] = []
+    with ctx.phase("tct"):
+        if q > 1:
+            du, su = grid.skew_u(x, y)
+            u_block = exchange_block(comm, u_block, du, su, cfg.blob_serialization, 100)
+            dl, sl = grid.skew_l(x, y)
+            l_block = exchange_block(comm, l_block, dl, sl, cfg.blob_serialization, 110)
+        for z in range(q):
+            n_tri, triples = _enumerate_block_pair(task_block, u_block, l_block, cfg, q)
+            if n_tri:
+                triples_parts.append(triples)
+            ctx.charge("task", task_block.nnz)
+            ctx.charge("hash_probe", n_tri)
+            if z < q - 1:
+                du, su = grid.shift_u(x, y)
+                u_block = exchange_block(
+                    comm, u_block, du, su, cfg.blob_serialization, 120
+                )
+                dl, sl = grid.shift_l(x, y)
+                l_block = exchange_block(
+                    comm, l_block, dl, sl, cfg.blob_serialization, 130
+                )
+        local = (
+            np.concatenate(triples_parts, axis=0)
+            if triples_parts
+            else np.empty((0, 3), dtype=INDEX_DTYPE)
+        )
+        total = comm.allreduce(len(local), SUM)
+
+    return {
+        "total": int(total),
+        "triples": local,
+        "labels": label_info,  # (lo, new_labels) in lambda1 space
+    }
+
+
+def triangle_census_2d(
+    graph: Graph,
+    p: int,
+    cfg: TC2DConfig | None = None,
+    model: MachineModel | None = None,
+) -> TriangleCensus:
+    """Enumerate every triangle of ``graph`` on ``p`` simulated ranks and
+    aggregate per-edge supports and per-vertex counts.
+
+    The enumeration runs the identical Cannon pipeline as
+    :func:`~repro.core.tc2d.count_triangles_2d` (same blocks, same
+    shifts); each hit additionally records its closing vertex.  Triples
+    are mapped back to the input's original vertex labels.
+    """
+    cfg = cfg if cfg is not None else TC2DConfig()
+    if cfg.enumeration != "jik":
+        raise ValueError("triangle enumeration implements the jik task layout only")
+    grid = ProcessorGrid.for_ranks(p)
+    chunks = partition_1d(graph, p)
+    engine = Engine(p, model=model)
+    run = engine.run(_census_rank_program, chunks, cfg)
+
+    # Reassemble the preprocessing permutation: original id v
+    #   --lambda1--> cyclic relabel (closed form)
+    #   --lambda2--> degree-sorted label (rank-local tables, gathered here).
+    n = graph.n
+    lam1 = np.arange(n, dtype=INDEX_DTYPE)
+    if cfg.initial_cyclic:
+        offsets = cyclic_bounds(n, p)
+        v = np.arange(n, dtype=INDEX_DTYPE)
+        lam1 = offsets[v % p] + v // p
+    lam2 = np.arange(n, dtype=INDEX_DTYPE)
+    if cfg.degree_reorder:
+        lam2 = np.empty(n, dtype=INDEX_DTYPE)
+        for ret in run.returns:
+            lo, labels = ret["labels"]
+            lam2[lo : lo + len(labels)] = labels
+    perm = lam2[lam1]  # original -> final label
+    inv = np.empty(n, dtype=INDEX_DTYPE)
+    inv[perm] = np.arange(n, dtype=INDEX_DTYPE)
+
+    parts = [r["triples"] for r in run.returns if len(r["triples"])]
+    triples_l2 = (
+        np.concatenate(parts, axis=0)
+        if parts
+        else np.empty((0, 3), dtype=INDEX_DTYPE)
+    )
+    count = run.returns[0]["total"]
+    if len(triples_l2) != count:
+        raise AssertionError("enumerated triples do not match the reduced count")
+    triangles = inv[triples_l2] if count else triples_l2
+
+    # Per-vertex counts and per-edge supports from the triple list.
+    vertex_triangles = np.bincount(triangles.ravel(), minlength=n).astype(
+        np.int64
+    )
+    edges = graph.edge_array()
+    edge_support = np.zeros(len(edges), dtype=np.int64)
+    if count:
+        enc_edges = edges[:, 0] * n + edges[:, 1]
+        order = np.argsort(enc_edges)
+        enc_sorted = enc_edges[order]
+        tri_edges = np.concatenate(
+            [triangles[:, [0, 1]], triangles[:, [0, 2]], triangles[:, [1, 2]]]
+        )
+        lo = np.minimum(tri_edges[:, 0], tri_edges[:, 1])
+        hi = np.maximum(tri_edges[:, 0], tri_edges[:, 1])
+        enc_tri = lo * n + hi
+        pos = np.searchsorted(enc_sorted, enc_tri)
+        if not np.all(enc_sorted[pos] == enc_tri):
+            raise AssertionError("triangle edge missing from the edge list")
+        np.add.at(edge_support, order[pos], 1)
+
+    return TriangleCensus(
+        count=count,
+        triangles=triangles,
+        edge_support=edge_support,
+        edges=edges,
+        vertex_triangles=vertex_triangles,
+    )

@@ -1,0 +1,53 @@
+"""Graph substrate: CSR storage, generators, IO, statistics, datasets.
+
+Everything the triangle-counting algorithms consume is built here from
+scratch: a compressed-sparse-row adjacency structure (:class:`CSR`), an
+undirected simple-graph wrapper (:class:`Graph`), RMAT/Kronecker and
+social-network-like generators, edge-list/MatrixMarket IO, and the named
+scaled-down dataset registry that mirrors the paper's Table 1.
+"""
+
+from repro.graph.csr import CSR, Graph
+from repro.graph.dcsr import DCSR
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    configuration_model,
+    erdos_renyi_gnm,
+    grid_2d,
+    powerlaw_cluster,
+    rmat_edges,
+    rmat_graph,
+    watts_strogatz,
+)
+from repro.graph.datasets import DatasetSpec, dataset_names, load_dataset
+from repro.graph.stats import (
+    clustering_coefficients,
+    degree_summary,
+    global_clustering,
+    triangle_count_linalg,
+    wedge_count,
+)
+
+__all__ = [
+    "CSR",
+    "DCSR",
+    "DatasetSpec",
+    "Graph",
+    "barabasi_albert",
+    "clustering_coefficients",
+    "complete_graph",
+    "configuration_model",
+    "dataset_names",
+    "degree_summary",
+    "erdos_renyi_gnm",
+    "global_clustering",
+    "grid_2d",
+    "load_dataset",
+    "powerlaw_cluster",
+    "rmat_edges",
+    "rmat_graph",
+    "triangle_count_linalg",
+    "watts_strogatz",
+    "wedge_count",
+]

@@ -1,0 +1,46 @@
+"""NetworkX interoperability.
+
+networkx is an optional dependency used by tests as an independent oracle
+and by users who want to feed arbitrary networkx graphs into the counting
+algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import INDEX_DTYPE, Graph
+
+
+def to_networkx(g: Graph):
+    """Convert to an undirected ``networkx.Graph`` with integer nodes."""
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n))
+    G.add_edges_from(map(tuple, g.edge_array()))
+    return G
+
+
+def from_networkx(G) -> Graph:
+    """Convert any networkx graph to a :class:`Graph`.
+
+    Non-integer node labels are mapped to 0..n-1 in sorted order; self
+    loops and parallel edges are dropped by the simple-graph constructor.
+    """
+    nodes = list(G.nodes())
+    try:
+        ids = {v: int(v) for v in nodes}
+        n = max(ids.values()) + 1 if ids else 0
+        if any(i < 0 for i in ids.values()):
+            raise ValueError
+    except (ValueError, TypeError):
+        ordering = sorted(nodes, key=repr)
+        ids = {v: i for i, v in enumerate(ordering)}
+        n = len(ordering)
+    if G.number_of_edges() == 0:
+        return Graph.from_edges(n, np.empty((0, 2), dtype=INDEX_DTYPE))
+    edges = np.array(
+        [(ids[u], ids[v]) for u, v in G.edges()], dtype=INDEX_DTYPE
+    )
+    return Graph.from_edges(n, edges)

@@ -1,0 +1,14 @@
+"""Hash-map machinery for map-based set intersection.
+
+The 2D algorithm intersects adjacency-list fragments by hashing one list
+and probing it with the other (Section 3.1 of the paper).  This package
+provides the open-addressing map (:class:`BlockHashMap`) with the paper's
+"modified hashing routine for sparser vertices": fragments short enough to
+be collision-free are inserted with a direct ``key & mask`` placement and
+probed with a single vectorized compare, skipping linear probing entirely
+(Section 5.2).
+"""
+
+from repro.hashing.hashmap import BlockHashMap, HashStats
+
+__all__ = ["BlockHashMap", "HashStats"]

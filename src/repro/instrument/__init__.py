@@ -1,0 +1,6 @@
+"""Instrumentation helpers: counter aggregation and report formatting."""
+
+from repro.instrument.counters import merge_counters, counters_diff
+from repro.instrument.report import ascii_chart, format_table
+
+__all__ = ["ascii_chart", "counters_diff", "format_table", "merge_counters"]

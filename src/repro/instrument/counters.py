@@ -1,0 +1,24 @@
+"""Operation-counter aggregation utilities."""
+
+from __future__ import annotations
+
+
+def merge_counters(dicts: list[dict[str, float]]) -> dict[str, float]:
+    """Element-wise sum of counter dictionaries."""
+    out: dict[str, float] = {}
+    for d in dicts:
+        for k, v in d.items():
+            out[k] = out.get(k, 0.0) + v
+    return out
+
+
+def counters_diff(
+    after: dict[str, float], before: dict[str, float]
+) -> dict[str, float]:
+    """Per-key ``after - before``, dropping zero deltas."""
+    out: dict[str, float] = {}
+    for k, v in after.items():
+        delta = v - before.get(k, 0.0)
+        if delta:
+            out[k] = delta
+    return out

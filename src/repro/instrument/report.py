@@ -1,0 +1,119 @@
+"""Plain-text table and chart rendering for the benchmark harness.
+
+The benchmark scripts regenerate the paper's tables and figures as text:
+tables as aligned columns, figures as simple ASCII line charts (one series
+per phase, as in Figures 1-3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    floatfmt: str = ".2f",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats use ``floatfmt``; everything else is ``str()``-ed.  Right-align
+    numeric columns, left-align text.
+    """
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    rendered = [[cell(v) for v in row] for row in rows]
+    ncols = len(headers)
+    for r in rendered:
+        if len(r) != ncols:
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rendered)) if rendered else len(headers[c])
+        for c in range(ncols)
+    ]
+    numeric = [
+        all(_is_number(row[c]) for row in rows) if rows else False
+        for c in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        out = []
+        for c, text in enumerate(cells):
+            out.append(text.rjust(widths[c]) if numeric[c] else text.ljust(widths[c]))
+        return "  ".join(out).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in rendered)
+    return "\n".join(lines)
+
+
+def _is_number(v: object) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 68,
+    height: int = 16,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets a marker character; points share one canvas.  Meant
+    for the Figure 1-3 reproductions, where the qualitative shape (which
+    curve is higher, where it bends) is what matters.
+    """
+    markers = "ox+*#@%&"
+    pts = [(x, y) for s in series.values() for (x, y) in s]
+    if not pts:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1
+    if ymax == ymin:
+        ymax = ymin + 1
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, data) in enumerate(series.items()):
+        mk = markers[si % len(markers)]
+        for x, y in data:
+            cx = int(round((x - xmin) / (xmax - xmin) * (width - 1)))
+            cy = int(round((y - ymin) / (ymax - ymin) * (height - 1)))
+            grid[height - 1 - cy][cx] = mk
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{ymax:.3g}"
+    bot_label = f"{ymin:.3g}"
+    label_w = max(len(top_label), len(bot_label), len(ylabel))
+    for r, row in enumerate(grid):
+        if r == 0:
+            left = top_label.rjust(label_w)
+        elif r == height - 1:
+            left = bot_label.rjust(label_w)
+        elif r == height // 2 and ylabel:
+            left = ylabel.rjust(label_w)[:label_w]
+        else:
+            left = " " * label_w
+        lines.append(f"{left} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    xline = f"{xmin:.3g}".ljust(width // 2) + f"{xmax:.3g}".rjust(width // 2)
+    lines.append(" " * label_w + "  " + xline + (f"   {xlabel}" if xlabel else ""))
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * label_w + "  legend: " + legend)
+    return "\n".join(lines)

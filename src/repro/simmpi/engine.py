@@ -1,0 +1,472 @@
+"""SPMD execution engine: virtual ranks, scheduling, message delivery.
+
+The engine runs ``p`` rank programs on ``p`` real threads, but only one
+thread executes at any moment: a rank runs until it blocks on communication
+(or finishes), then hands control back to the scheduler, which resumes the
+next runnable rank in round-robin order.  This gives normal blocking-style
+rank code (no generators, no async) while keeping execution fully
+deterministic and immune to GIL scheduling noise.
+
+Virtual time: every rank owns a :class:`~repro.simmpi.clock.RankClock`.
+Sends are eager (buffered): the sender pays only a small injection overhead
+and the message is stamped with its wire arrival time
+``sender_now + alpha + beta * nbytes``.  A receive completes at
+``max(receiver_now, arrival)``; any gap is accounted as communication
+(waiting) time, which is exactly what the paper's Figure 3 measures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.simmpi.clock import PhaseStats, RankClock
+from repro.simmpi.comm import ANY_SOURCE, ANY_TAG, Comm
+from repro.simmpi.costmodel import MachineModel, payload_nbytes
+from repro.simmpi.errors import DeadlockError, RankFailedError, SimMPIError
+from repro.simmpi.tracing import Tracer
+
+_NEW, _READY, _RUNNING, _BLOCKED, _FINISHED, _FAILED = range(6)
+
+
+class _Abort(BaseException):
+    """Injected into parked rank threads to unwind them after a failure.
+
+    Derives from ``BaseException`` so user-level ``except Exception``
+    handlers cannot swallow it.
+    """
+
+
+@dataclass
+class _Message:
+    """An in-flight (delivered-but-unreceived) message."""
+
+    seq: int
+    src: int
+    dst: int
+    tag: int
+    comm_id: int
+    payload: Any
+    nbytes: int
+    arrival: float
+
+
+class _RankState:
+    """Book-keeping for one virtual rank."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.state = _NEW
+        self.resume = threading.Event()
+        self.thread: threading.Thread | None = None
+        self.mailbox: list[_Message] = []
+        self.blocked_on: str = ""
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Engine.run` call.
+
+    Attributes
+    ----------
+    returns:
+        Per-rank return values of the program, indexed by rank.
+    clocks:
+        Per-rank :class:`RankClock` with final times and phase stats.
+    counters:
+        Per-rank operation counters (``kind -> count``) accumulated by
+        :meth:`RankContext.charge`.
+    tracer:
+        The run's :class:`Tracer` (empty unless tracing was enabled).
+    """
+
+    returns: list[Any]
+    clocks: list[RankClock]
+    counters: list[dict[str, float]]
+    tracer: Tracer
+    mem_peaks: list[int] = field(default_factory=list)
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.returns)
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time at which the last rank finished."""
+        return max(c.now for c in self.clocks)
+
+    def phase_names(self) -> list[str]:
+        """All phase names recorded by any rank, sorted."""
+        names: set[str] = set()
+        for c in self.clocks:
+            names.update(c.phases)
+        return sorted(names)
+
+    def phase_stats(self, name: str) -> list[PhaseStats]:
+        """Per-rank stats for phase ``name`` (only ranks that entered it)."""
+        return [c.phases[name] for c in self.clocks if name in c.phases]
+
+    def phase_time(self, name: str) -> float:
+        """Reported wall time of a phase: latest end minus earliest start,
+        the way an MPI program timed around barriers reports it."""
+        stats = self.phase_stats(name)
+        if not stats:
+            raise KeyError(f"no rank recorded phase {name!r}")
+        return max(s.end for s in stats) - min(s.start for s in stats)
+
+    def phase_comm_fraction(self, name: str) -> float:
+        """Aggregate fraction of phase time spent in communication."""
+        stats = self.phase_stats(name)
+        comm = sum(s.comm for s in stats)
+        compute = sum(s.compute for s in stats)
+        total = comm + compute
+        return comm / total if total > 0 else 0.0
+
+    def counter_total(self, kind: str) -> float:
+        """Sum of one operation counter over all ranks."""
+        return sum(c.get(kind, 0.0) for c in self.counters)
+
+
+class RankContext:
+    """Per-rank handle passed to the SPMD program.
+
+    Exposes the rank id, the world communicator, the virtual clock, and the
+    instrumentation entry points (:meth:`charge`, :meth:`phase`).
+    """
+
+    def __init__(self, engine: "Engine", rank: int):
+        self.engine = engine
+        self.rank = rank
+        self.num_ranks = engine.num_ranks
+        self.clock = RankClock(rank)
+        self.counters: dict[str, float] = {}
+        self.comm = Comm(engine, rank, list(range(engine.num_ranks)), comm_id=0)
+        self.mem_bytes = 0
+        self.mem_peak = 0
+
+    def alloc_mem(self, nbytes: int) -> None:
+        """Account ``nbytes`` of live data structures on this rank.
+
+        The engine does not police real allocations; algorithms call this
+        (and :meth:`free_mem`) around their long-lived structures so the
+        per-rank memory high-water mark — the paper's memory-scalability
+        argument for Cannon's pattern — can be reported.
+        """
+        self.mem_bytes += int(nbytes)
+        if self.mem_bytes > self.mem_peak:
+            self.mem_peak = self.mem_bytes
+
+    def free_mem(self, nbytes: int) -> None:
+        """Release ``nbytes`` previously accounted via :meth:`alloc_mem`."""
+        self.mem_bytes = max(0, self.mem_bytes - int(nbytes))
+
+    @property
+    def model(self) -> MachineModel:
+        return self.engine.model
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.engine.tracer
+
+    def charge(
+        self, kind: str, count: float, working_set_bytes: float | None = None
+    ) -> None:
+        """Account ``count`` operations of ``kind`` as local compute.
+
+        Advances the virtual clock by the model's compute time and
+        accumulates the raw count in :attr:`counters` (Table 4 / Figure 2
+        read these counters, so kernels must charge *logical* operation
+        counts, independent of how the Python implementation vectorizes).
+        """
+        if count == 0:
+            return
+        dt = self.engine.model.compute_time(kind, count, working_set_bytes)
+        self.clock.advance_compute(dt)
+        self.counters[kind] = self.counters.get(kind, 0.0) + count
+        self.engine.tracer.emit(
+            self.clock.now, self.rank, "compute", op=kind, count=count
+        )
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseStats]:
+        """Scope a named timing phase (nestable)."""
+        ph = self.clock.phase_begin(name)
+        self.engine.tracer.emit(self.clock.now, self.rank, "phase_begin", name=ph.name)
+        try:
+            yield ph
+        finally:
+            self.clock.phase_end(ph)
+            self.engine.tracer.emit(
+                self.clock.now, self.rank, "phase_end", name=ph.name
+            )
+
+
+class Engine:
+    """Deterministic single-process SPMD engine.
+
+    Parameters
+    ----------
+    num_ranks:
+        Number of virtual ranks (``p``).
+    model:
+        Machine cost model; defaults to :class:`MachineModel()`.
+    trace:
+        When true, record a full event trace (see :class:`Tracer`).
+    real_timeout:
+        Real (wall-clock) seconds the scheduler will wait for a rank thread
+        to respond before declaring the run wedged.  This is a safety net
+        for engine bugs, not part of the simulation.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        model: MachineModel | None = None,
+        trace: bool = False,
+        real_timeout: float = 600.0,
+    ):
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        self.num_ranks = num_ranks
+        self.model = model if model is not None else MachineModel()
+        self.tracer = Tracer(enabled=trace)
+        self.real_timeout = real_timeout
+        self._states: list[_RankState] = []
+        self._ctxs: list[RankContext] = []
+        self._sched_evt = threading.Event()
+        self._seq = itertools.count()
+        self._aborting = False
+        self._running_rank: int = -1
+
+    # ------------------------------------------------------------------
+    # driver side
+    # ------------------------------------------------------------------
+
+    def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> RunResult:
+        """Execute ``program(ctx, *args, **kwargs)`` on every rank.
+
+        Returns a :class:`RunResult`; raises :class:`RankFailedError` if any
+        rank program raised, or :class:`DeadlockError` if all unfinished
+        ranks blocked with no message able to unblock them.
+        """
+        self._states = [_RankState(r) for r in range(self.num_ranks)]
+        self._ctxs = [RankContext(self, r) for r in range(self.num_ranks)]
+        self._aborting = False
+        self._sched_evt.clear()  # may be left set by an aborted prior run
+
+        for st in self._states:
+            st.thread = threading.Thread(
+                target=self._thread_main,
+                args=(st, program, args, kwargs),
+                name=f"simmpi-rank-{st.rank}",
+                daemon=True,
+            )
+            st.state = _READY
+            st.thread.start()
+
+        try:
+            self._schedule_loop()
+        finally:
+            if any(st.state not in (_FINISHED, _FAILED) for st in self._states):
+                self._abort_parked_ranks()
+            for st in self._states:
+                if st.thread is not None:
+                    st.thread.join(timeout=self.real_timeout)
+
+        failed = [st for st in self._states if st.state == _FAILED]
+        if failed:
+            st = failed[0]
+            assert st.error is not None
+            raise RankFailedError(st.rank, st.error) from st.error
+
+        return RunResult(
+            returns=[st.result for st in self._states],
+            clocks=[ctx.clock for ctx in self._ctxs],
+            counters=[ctx.counters for ctx in self._ctxs],
+            tracer=self.tracer,
+            mem_peaks=[ctx.mem_peak for ctx in self._ctxs],
+        )
+
+    def _schedule_loop(self) -> None:
+        cursor = 0
+        while True:
+            nxt = self._pick_runnable(cursor)
+            if nxt is None:
+                unfinished = {
+                    st.rank: st.blocked_on or "blocked"
+                    for st in self._states
+                    if st.state not in (_FINISHED, _FAILED)
+                }
+                if not unfinished:
+                    return  # all done
+                self._abort_parked_ranks()
+                raise DeadlockError(unfinished)
+            st = self._states[nxt]
+            cursor = (nxt + 1) % self.num_ranks
+            st.state = _RUNNING
+            self._running_rank = st.rank
+            st.resume.set()
+            if not self._sched_evt.wait(timeout=self.real_timeout):
+                raise SimMPIError(
+                    f"rank {st.rank} did not yield within {self.real_timeout}s "
+                    "of real time; the run is wedged"
+                )
+            self._sched_evt.clear()
+            if any(s.state == _FAILED for s in self._states):
+                self._abort_parked_ranks()
+                return
+
+    def _pick_runnable(self, cursor: int) -> int | None:
+        for off in range(self.num_ranks):
+            r = (cursor + off) % self.num_ranks
+            if self._states[r].state == _READY:
+                return r
+        return None
+
+    def _abort_parked_ranks(self) -> None:
+        self._aborting = True
+        for st in self._states:
+            if st.state not in (_FINISHED, _FAILED):
+                st.resume.set()
+
+    # ------------------------------------------------------------------
+    # rank-thread side
+    # ------------------------------------------------------------------
+
+    def _thread_main(
+        self,
+        st: _RankState,
+        program: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+    ) -> None:
+        # Park until the scheduler hands us the execution token.
+        st.resume.wait()
+        st.resume.clear()
+        if self._aborting:
+            st.state = _FAILED if st.error else _FINISHED
+            self._sched_evt.set()
+            return
+        try:
+            st.result = program(self._ctxs[st.rank], *args, **kwargs)
+            st.state = _FINISHED
+        except _Abort:
+            st.state = _FINISHED
+        except BaseException as exc:  # noqa: BLE001 - reported to the driver
+            st.error = exc
+            st.state = _FAILED
+        self._sched_evt.set()
+
+    def _yield_to_scheduler(self, st: _RankState) -> None:
+        """Hand the execution token back and park until rescheduled."""
+        self._sched_evt.set()
+        st.resume.wait()
+        st.resume.clear()
+        if self._aborting:
+            raise _Abort()
+
+    def _block(self, rank: int, why: str) -> None:
+        """Mark ``rank`` blocked and yield; returns once rescheduled."""
+        st = self._states[rank]
+        st.state = _BLOCKED
+        st.blocked_on = why
+        self._yield_to_scheduler(st)
+        st.blocked_on = ""
+
+    # ------------------------------------------------------------------
+    # messaging primitives (called from rank threads via Comm)
+    # ------------------------------------------------------------------
+
+    def post_send(
+        self, src: int, dst: int, tag: int, comm_id: int, payload: Any
+    ) -> int:
+        """Eagerly deliver a message into ``dst``'s mailbox.
+
+        LogGP-style accounting: the *sender* pays the injection overhead
+        plus the byte serialization time (its NIC pushes the bytes out
+        one message at a time, so back-to-back sends serialize), and the
+        message then arrives one wire latency (alpha) later.  Returns the
+        byte size used for accounting.
+        """
+        ctx = self._ctxs[src]
+        nbytes = payload_nbytes(payload)
+        ctx.clock.advance_comm(self.model.send_overhead + self.model.beta * nbytes)
+        arrival = ctx.clock.now + self.model.alpha
+        msg = _Message(
+            seq=next(self._seq),
+            src=src,
+            dst=dst,
+            tag=tag,
+            comm_id=comm_id,
+            payload=payload,
+            nbytes=nbytes,
+            arrival=arrival,
+        )
+        dst_state = self._states[dst]
+        dst_state.mailbox.append(msg)
+        self.tracer.emit(
+            ctx.clock.now, src, "send", dst=dst, tag=tag, nbytes=nbytes,
+            arrival=arrival,
+        )
+        # A parked receiver might now have a match; let it re-check.
+        if dst_state.state == _BLOCKED:
+            dst_state.state = _READY
+        return nbytes
+
+    def wait_recv(
+        self, rank: int, source: int, tag: int, comm_id: int
+    ) -> tuple[Any, int, int]:
+        """Blocking receive; returns ``(payload, actual_source, actual_tag)``.
+
+        Matching follows MPI semantics: the earliest-sent message from a
+        matching (source, tag, communicator) is delivered; per-pair order is
+        never overtaken.  Waiting time (gap between the receive post and the
+        message's wire arrival) is charged as communication.
+        """
+        st = self._states[rank]
+        ctx = self._ctxs[rank]
+        while True:
+            idx = self._match(st.mailbox, source, tag, comm_id)
+            if idx is not None:
+                msg = st.mailbox.pop(idx)
+                ctx.clock.wait_until(msg.arrival)
+                self.tracer.emit(
+                    ctx.clock.now, rank, "recv", src=msg.src, tag=msg.tag,
+                    nbytes=msg.nbytes,
+                )
+                return msg.payload, msg.src, msg.tag
+            self._block(
+                rank,
+                f"recv(source={'ANY' if source == ANY_SOURCE else source}, "
+                f"tag={'ANY' if tag == ANY_TAG else tag}, comm={comm_id})",
+            )
+
+    @staticmethod
+    def _match(
+        mailbox: list[_Message], source: int, tag: int, comm_id: int
+    ) -> int | None:
+        best: int | None = None
+        best_seq = -1
+        for i, m in enumerate(mailbox):
+            if m.comm_id != comm_id:
+                continue
+            if source != ANY_SOURCE and m.src != source:
+                continue
+            if tag != ANY_TAG and m.tag != tag:
+                continue
+            if best is None or m.seq < best_seq:
+                best, best_seq = i, m.seq
+        return best
+
+    def probe(self, rank: int, source: int, tag: int, comm_id: int) -> bool:
+        """Non-blocking check whether a matching message is queued."""
+        return self._match(self._states[rank].mailbox, source, tag, comm_id) is not None
+
+    def context(self, rank: int) -> RankContext:
+        """The :class:`RankContext` of ``rank`` (used by :class:`Comm`)."""
+        return self._ctxs[rank]

@@ -1,0 +1,56 @@
+"""Exception types raised by the simulated-MPI runtime."""
+
+from __future__ import annotations
+
+
+class SimMPIError(Exception):
+    """Base class for all simulated-MPI runtime errors."""
+
+
+class DeadlockError(SimMPIError):
+    """Raised when every unfinished rank is blocked and no message can
+    unblock any of them.
+
+    The message includes a per-rank description of what each blocked rank
+    is waiting for, which is usually enough to spot mismatched tags or a
+    collective call that only a subset of ranks entered.
+    """
+
+    def __init__(self, blocked: dict[int, str]):
+        self.blocked = dict(blocked)
+        lines = [f"  rank {r}: {why}" for r, why in sorted(blocked.items())]
+        super().__init__(
+            "simulated MPI deadlock: all unfinished ranks are blocked\n"
+            + "\n".join(lines)
+        )
+
+
+class RankFailedError(SimMPIError):
+    """Raised (on the driver) when a rank program raised an exception.
+
+    The original exception is attached as ``__cause__`` and the failing
+    rank id is available as :attr:`rank`.
+    """
+
+    def __init__(self, rank: int, original: BaseException):
+        self.rank = rank
+        self.original = original
+        super().__init__(
+            f"rank {rank} raised {type(original).__name__}: {original}"
+        )
+
+
+class CollectiveMismatchError(SimMPIError):
+    """Raised when ranks disagree about a collective operation, e.g. one
+    rank calls ``bcast`` while its peer calls ``allreduce``, or roots
+    differ."""
+
+
+class InvalidRankError(SimMPIError):
+    """Raised when a ``dest``/``source``/``root`` argument is outside the
+    communicator."""
+
+    def __init__(self, what: str, value: int, size: int):
+        super().__init__(
+            f"{what}={value} is not a valid rank for a communicator of size {size}"
+        )

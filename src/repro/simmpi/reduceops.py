@@ -1,0 +1,77 @@
+"""Reduction operators for simulated-MPI collectives.
+
+Operators work on any values supporting the underlying binary operation;
+numpy arrays reduce elementwise, which is what the distributed counting
+sort in :mod:`repro.core.preprocess` relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A named, associative, commutative binary reduction operator.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name used in traces and error messages.
+    fn:
+        Binary function combining two values into one.
+    """
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def reduce(self, values: list[Any]) -> Any:
+        """Left-fold ``values`` (at least one) with the operator."""
+        if not values:
+            raise ValueError(f"cannot {self.name}-reduce an empty list")
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.fn(acc, v)
+        return acc
+
+
+def _sum(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def _prod(a: Any, b: Any) -> Any:
+    return a * b
+
+
+def _max(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def _min(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+def _band(a: Any, b: Any) -> Any:
+    return a & b
+
+
+def _bor(a: Any, b: Any) -> Any:
+    return a | b
+
+
+SUM = ReduceOp("sum", _sum)
+PROD = ReduceOp("prod", _prod)
+MAX = ReduceOp("max", _max)
+MIN = ReduceOp("min", _min)
+BAND = ReduceOp("band", _band)
+BOR = ReduceOp("bor", _bor)

@@ -1,0 +1,88 @@
+"""Non-blocking communication: isend / irecv and request completion.
+
+mpi4py-style: ``comm.isend``/``comm.irecv`` return :class:`Request`
+handles completed via ``wait``/``test``; :func:`wait_all` completes a
+batch.  In this engine sends are eager, so ``isend`` completes
+immediately (its wait is a no-op); ``irecv`` defers both the matching and
+the virtual-time wait until completion, which lets a rank post several
+receives and overlap their arrival — the semantics overlap-capable MPI
+codes rely on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.simmpi.comm import ANY_SOURCE, ANY_TAG
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simmpi.comm import Comm
+
+
+class Request:
+    """Handle for an outstanding non-blocking operation."""
+
+    def wait(self) -> Any:
+        """Block (virtually) until complete; returns the payload for
+        receives, ``None`` for sends."""
+        raise NotImplementedError
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: ``(done, payload-or-None)``."""
+        raise NotImplementedError
+
+
+class SendRequest(Request):
+    """Eager sends complete at post time; the handle is for symmetry."""
+
+    def wait(self) -> None:
+        return None
+
+    def test(self) -> tuple[bool, Any]:
+        return True, None
+
+
+class RecvRequest(Request):
+    """Deferred receive: matching happens at :meth:`wait`/:meth:`test`.
+
+    Multiple outstanding ``irecv`` requests on the same (source, tag)
+    complete in post order, as MPI requires.
+    """
+
+    def __init__(self, comm: "Comm", source: int, tag: int):
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._payload: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._payload = self._comm.recv(source=self._source, tag=self._tag)
+            self._done = True
+        return self._payload
+
+    def test(self) -> tuple[bool, Any]:
+        if self._done:
+            return True, self._payload
+        if self._comm.probe(source=self._source, tag=self._tag):
+            return True, self.wait()
+        return False, None
+
+
+def wait_all(requests: list[Request]) -> list[Any]:
+    """Complete every request, returning their payloads in order."""
+    return [r.wait() for r in requests]
+
+
+def isend(comm: "Comm", obj: Any, dest: int, tag: int = 0) -> Request:
+    """Non-blocking send (eager: completes immediately)."""
+    comm.send(obj, dest, tag=tag)
+    return SendRequest()
+
+
+def irecv(
+    comm: "Comm", source: int = ANY_SOURCE, tag: int = ANY_TAG
+) -> RecvRequest:
+    """Non-blocking receive; complete with ``.wait()`` or ``.test()``."""
+    return RecvRequest(comm, source, tag)

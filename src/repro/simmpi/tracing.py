@@ -1,0 +1,69 @@
+"""Optional event tracing for simulated-MPI runs.
+
+A :class:`Tracer` records timestamped events (sends, receives, compute
+charges, phase boundaries) that tests and the ``trace_gantt`` example use to
+visualize Cannon's shift pattern.  Tracing is off by default; it costs one
+list append per event when enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced runtime event.
+
+    Attributes
+    ----------
+    t:
+        Virtual time at which the event completed on ``rank``.
+    rank:
+        Rank the event is charged to.
+    kind:
+        Event type: ``"send"``, ``"recv"``, ``"compute"``, ``"phase_begin"``,
+        ``"phase_end"``, ``"collective"``.
+    detail:
+        Free-form payload (peer rank, tag, byte count, op counts, ...).
+    """
+
+    t: float
+    rank: int
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Accumulates :class:`TraceEvent` records for a run."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def emit(self, t: float, rank: int, kind: str, **detail: Any) -> None:
+        """Record one event (no-op when disabled)."""
+        if self.enabled:
+            self.events.append(TraceEvent(t=t, rank=rank, kind=kind, detail=detail))
+
+    def of_kind(self, *kinds: str) -> list[TraceEvent]:
+        """Return all events whose kind is one of ``kinds``, in time order."""
+        sel = [e for e in self.events if e.kind in kinds]
+        sel.sort(key=lambda e: (e.t, e.rank))
+        return sel
+
+    def for_rank(self, rank: int) -> list[TraceEvent]:
+        """Return all events charged to ``rank`` in recording order."""
+        return [e for e in self.events if e.rank == rank]
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def total_bytes(self, kinds: Iterable[str] = ("send",)) -> int:
+        """Sum the ``nbytes`` detail over events of the given kinds."""
+        ks = set(kinds)
+        return sum(
+            int(e.detail.get("nbytes", 0)) for e in self.events if e.kind in ks
+        )

@@ -1,0 +1,76 @@
+"""Report formatting: tables and ASCII charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instrument import ascii_chart, counters_diff, format_table, merge_counters
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(
+            ["name", "value"], [("a", 1.5), ("bb", 20.25)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.50" in text and "20.25" in text
+
+    def test_numeric_columns_right_aligned(self):
+        text = format_table(["n"], [(5,), (500,)])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("  5") or rows[0].strip() == "5"
+        assert rows[0].rstrip()[-1] == "5"
+        assert len(rows[0]) == len(rows[1])
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_floatfmt(self):
+        text = format_table(["x"], [(1.23456,)], floatfmt=".4f")
+        assert "1.2346" in text
+
+
+class TestAsciiChart:
+    def test_contains_series_markers_and_legend(self):
+        chart = ascii_chart(
+            {"up": [(1, 1), (2, 2)], "down": [(1, 2), (2, 1)]},
+            width=20,
+            height=6,
+            title="TT",
+            xlabel="ranks",
+        )
+        assert "TT" in chart
+        assert "legend" in chart
+        assert "o = up" in chart and "x = down" in chart
+        assert "ranks" in chart
+
+    def test_no_data(self):
+        assert "(no data)" in ascii_chart({}, title="x")
+
+    def test_single_point(self):
+        chart = ascii_chart({"s": [(1.0, 5.0)]}, width=10, height=4)
+        assert "o" in chart
+
+    def test_axis_labels_show_range(self):
+        chart = ascii_chart({"s": [(16, 0.0), (169, 1.0)]}, width=30, height=5)
+        assert "16" in chart and "169" in chart
+
+
+class TestCounters:
+    def test_merge(self):
+        assert merge_counters([{"a": 1.0}, {"a": 2.0, "b": 3.0}]) == {
+            "a": 3.0,
+            "b": 3.0,
+        }
+
+    def test_diff(self):
+        assert counters_diff({"a": 5.0, "b": 1.0}, {"a": 2.0, "b": 1.0}) == {
+            "a": 3.0
+        }

@@ -1,0 +1,41 @@
+"""Sweep runner memoization and calibration entry points."""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import bench_ranks, clear_sweep_cache, paper_model, run_point, sweep
+from repro.bench.calibration import PAPER_RANKS, QUICK_RANKS
+from repro.core import TC2DConfig
+
+
+def test_paper_model_shape():
+    m = paper_model()
+    assert m.alpha > 0 and m.beta > 0
+    assert m.cache is not None
+
+
+def test_bench_ranks_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_QUICK", raising=False)
+    assert bench_ranks() == PAPER_RANKS
+    monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+    assert bench_ranks() == QUICK_RANKS
+
+
+def test_run_point_memoizes():
+    clear_sweep_cache()
+    a = run_point("g500-s12", 4)
+    b = run_point("g500-s12", 4)
+    assert a is b
+    c = run_point("g500-s12", 4, cfg=TC2DConfig(early_stop=False))
+    assert c is not a
+    assert c.count == a.count
+    clear_sweep_cache()
+
+
+def test_sweep_returns_ordered_results():
+    clear_sweep_cache()
+    results = sweep("g500-s12", [1, 4])
+    assert [r.p for r in results] == [1, 4]
+    assert results[0].count == results[1].count
+    clear_sweep_cache()

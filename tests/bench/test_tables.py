@@ -1,0 +1,92 @@
+"""Bench table/figure builders on small inputs (structure, not scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import clear_sweep_cache
+from repro.bench.figures import fig1_efficiency, fig2_op_rate, fig3_comm_fraction
+from repro.bench.tables import table1, table2, table3, table4
+from repro.bench.costcheck import CostFit, fit_phase, predict_ppt_shape, predict_tct_shape
+from repro.bench.runner import sweep
+from repro.graph import load_dataset
+
+SMALL = "g500-s12"
+RANKS = (4, 16)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _clean_cache():
+    clear_sweep_cache()
+    yield
+    clear_sweep_cache()
+
+
+def test_table1_structure():
+    text, data = table1([SMALL, "twitter-like"])
+    assert "Table 1" in text
+    assert len(data) == 2
+    assert all(d["triangles"] > 0 for d in data)
+
+
+def test_table1_deduplicates():
+    _text, data = table1([SMALL, SMALL])
+    assert len(data) == 1
+
+
+def test_table2_structure():
+    text, data = table2(datasets=[SMALL], ranks=RANKS)
+    assert "Table 2" in text
+    assert len(data) == 2
+    base = data[0]
+    assert base["ppt_speedup"] == 1.0
+    assert base["overall_speedup"] == 1.0
+    assert data[1]["expected_speedup"] == pytest.approx(4.0)
+
+
+def test_table3_structure():
+    text, data = table3(dataset=SMALL, ranks=(4, 9))
+    assert len(data) == 2
+    for row in data:
+        assert row["imbalance"] >= 1.0
+        assert row["max_ms"] >= row["avg_ms"]
+
+
+def test_table4_growth_fields():
+    _text, data = table4(dataset=SMALL, ranks=(4, 9, 16))
+    assert [d["ranks"] for d in data] == [4, 9, 16]
+    assert data[0]["growth"] == ""
+    assert data[1]["growth"].endswith("%")
+    assert data[0]["tasks"] < data[1]["tasks"] < data[2]["tasks"]
+
+
+def test_figures_structure():
+    text1, data1 = fig1_efficiency(datasets=[SMALL], ranks=RANKS)
+    assert "Figure 1" in text1
+    assert set(data1[SMALL]) == {"ppt", "tct", "overall"}
+    text2, series2 = fig2_op_rate(dataset=SMALL, ranks=RANKS)
+    assert "Figure 2" in text2
+    assert len(series2["ppt"]) == 2
+    text3, series3 = fig3_comm_fraction(dataset=SMALL, ranks=RANKS)
+    assert "Figure 3" in text3
+    for _p, v in series3["tct"]:
+        assert 0 <= v <= 100
+
+
+def test_costcheck_shapes_positive_and_decreasing():
+    for p1, p2 in ((16, 169), (25, 144)):
+        assert predict_tct_shape(1000, 10000, 12.0, p1) > predict_tct_shape(
+            1000, 10000, 12.0, p2
+        )
+    assert predict_ppt_shape(1000, 10000, 99, 16) > 0
+
+
+def test_costcheck_fit_small():
+    g = load_dataset(SMALL)
+    results = sweep(SMALL, [4, 9, 16])
+    fit = fit_phase(g, results, "tct")
+    assert isinstance(fit, CostFit)
+    assert fit.scale > 0
+    assert len(fit.points) == 3
+    with pytest.raises(ValueError):
+        fit_phase(g, results, "bogus")

@@ -1,0 +1,78 @@
+"""Approximate (sparsified) counting: unbiasedness and edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.approximate import (
+    approx_count_triangles_2d,
+    estimate_with_confidence,
+    sparsify,
+)
+from repro.graph import triangle_count_linalg
+
+
+def test_keep_prob_one_is_exact(er_graph):
+    res = approx_count_triangles_2d(er_graph, 4, keep_prob=1.0)
+    assert res.estimate == triangle_count_linalg(er_graph)
+    assert res.kept_edges == er_graph.num_edges
+
+
+def test_sparsify_validation(er_graph):
+    with pytest.raises(ValueError):
+        sparsify(er_graph, 0.0)
+    with pytest.raises(ValueError):
+        sparsify(er_graph, 1.5)
+
+
+def test_sparsify_keeps_roughly_expected_fraction(er_graph):
+    sparse = sparsify(er_graph, 0.5, seed=1)
+    frac = sparse.num_edges / er_graph.num_edges
+    assert 0.4 < frac < 0.6
+    # Sparsified edges are a subset of the originals.
+    orig = set(map(tuple, er_graph.edge_array()))
+    assert all(tuple(e) in orig for e in sparse.edge_array())
+
+
+def test_estimate_is_in_the_right_ballpark(er_graph):
+    truth = triangle_count_linalg(er_graph)
+    mean, std, runs = estimate_with_confidence(
+        er_graph, 4, keep_prob=0.6, trials=8, seed=3
+    )
+    assert len(runs) == 8
+    # Mean of 8 trials should land within ~35% of the truth for this
+    # graph/keep_prob (stderr ~ 10%; allow 3+ sigma).
+    assert abs(mean - truth) / truth < 0.35
+    assert std > 0
+
+
+def test_estimates_are_deterministic_per_seed(er_graph):
+    a = approx_count_triangles_2d(er_graph, 4, keep_prob=0.5, seed=7)
+    b = approx_count_triangles_2d(er_graph, 4, keep_prob=0.5, seed=7)
+    c = approx_count_triangles_2d(er_graph, 4, keep_prob=0.5, seed=8)
+    assert a.estimate == b.estimate
+    assert a.estimate != c.estimate or a.kept_edges != c.kept_edges
+
+
+def test_sparsified_work_is_reduced(rmat_small):
+    exact = approx_count_triangles_2d(rmat_small, 4, keep_prob=1.0)
+    sparse = approx_count_triangles_2d(rmat_small, 4, keep_prob=0.3, seed=1)
+    assert sparse.exact_result.probes_total < exact.exact_result.probes_total
+    assert sparse.tct_time < exact.tct_time
+
+
+def test_trials_validation(er_graph):
+    with pytest.raises(ValueError):
+        estimate_with_confidence(er_graph, 4, trials=0)
+
+
+def test_unbiasedness_over_many_trials():
+    """Statistical check: mean over many sparsified runs approaches the
+    truth (fixed seeds keep this deterministic)."""
+    from repro.graph import erdos_renyi_gnm
+
+    g = erdos_renyi_gnm(120, 900, seed=4)
+    truth = triangle_count_linalg(g)
+    mean, _std, _ = estimate_with_confidence(g, 4, keep_prob=0.7, trials=12, seed=0)
+    assert abs(mean - truth) / truth < 0.3

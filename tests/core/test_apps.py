@@ -1,0 +1,77 @@
+"""Applications: clustering profile and k-truss vs networkx oracles."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import clustering_profile, ktruss_decomposition, max_truss
+from repro.graph import Graph, erdos_renyi_gnm
+from repro.graph.convert import from_networkx, to_networkx
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return erdos_renyi_gnm(150, 900, seed=8)
+
+
+class TestClusteringProfile:
+    def test_matches_networkx(self, medium_graph):
+        prof = clustering_profile(medium_graph, p=4)
+        nxg = to_networkx(medium_graph)
+        assert prof.transitivity == pytest.approx(nx.transitivity(nxg))
+        assert prof.average == pytest.approx(nx.average_clustering(nxg))
+        theirs = nx.clustering(nxg)
+        for v in range(medium_graph.n):
+            assert prof.local[v] == pytest.approx(theirs[v])
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(4, np.empty((0, 2), dtype=np.int64))
+        prof = clustering_profile(g, p=1)
+        assert prof.triangles == 0
+        assert prof.transitivity == 0.0
+        assert prof.average == 0.0
+
+    def test_triangle_graph(self):
+        g = Graph.from_edges(3, np.array([[0, 1], [1, 2], [0, 2]]))
+        prof = clustering_profile(g, p=1)
+        assert prof.triangles == 1
+        assert prof.transitivity == pytest.approx(1.0)
+        assert np.allclose(prof.local, 1.0)
+
+
+class TestKTruss:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_matches_networkx(self, medium_graph, k):
+        ours = ktruss_decomposition(medium_graph, k, p=4)
+        theirs = from_networkx(nx.k_truss(to_networkx(medium_graph), k))
+        assert set(map(tuple, ours.edge_array())) == set(
+            map(tuple, theirs.edge_array())
+        )
+
+    def test_k2_is_identity(self, medium_graph):
+        assert ktruss_decomposition(medium_graph, 2, p=2) is medium_graph
+
+    def test_k_below_two_rejected(self, medium_graph):
+        with pytest.raises(ValueError):
+            ktruss_decomposition(medium_graph, 1)
+
+    def test_clique_is_its_own_truss(self):
+        n = 6
+        edges = np.array([(i, j) for i in range(n) for j in range(i + 1, n)])
+        g = Graph.from_edges(n, edges)
+        t = ktruss_decomposition(g, n, p=4)
+        assert t.num_edges == g.num_edges
+        assert ktruss_decomposition(g, n + 1, p=4).num_edges == 0
+
+    def test_triangle_free_graph_empties(self):
+        edges = np.array([[i, (i + 1) % 8] for i in range(8)])
+        g = Graph.from_edges(8, edges)
+        assert ktruss_decomposition(g, 3, p=4).num_edges == 0
+
+    def test_max_truss(self, medium_graph):
+        kmax, truss = max_truss(medium_graph, p=4)
+        assert truss.num_edges > 0
+        assert ktruss_decomposition(medium_graph, kmax, p=4).num_edges == truss.num_edges
+        assert ktruss_decomposition(medium_graph, kmax + 1, p=4).num_edges == 0

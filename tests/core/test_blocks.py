@@ -1,0 +1,115 @@
+"""Block containers: blob round-trips and the shift exchange."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import Block, build_block, exchange_block
+from repro.simmpi import Engine
+
+
+def make_block(kind="U-row") -> Block:
+    return build_block(
+        kind,
+        fixed_residue=1,
+        inner_residue=2,
+        n_outer=5,
+        n_inner=7,
+        outer_local=np.array([0, 0, 3]),
+        inner_local=np.array([6, 2, 4]),
+    )
+
+
+def test_build_block_sorts_entries():
+    b = make_block()
+    assert np.array_equal(b.dcsr.row(0), [2, 6])
+    assert np.array_equal(b.dcsr.row(3), [4])
+    assert b.nnz == 3
+
+
+def test_bad_kind_rejected():
+    with pytest.raises(ValueError):
+        make_block(kind="bogus")
+
+
+def test_blob_roundtrip():
+    for kind in ("U-row", "L-col", "task"):
+        b = make_block(kind)
+        b2 = Block.from_blob(b.to_blob())
+        assert b2.kind == kind
+        assert b2.fixed_residue == 1
+        assert b2.inner_residue == 2
+        assert b2.dcsr.csr == b.dcsr.csr
+        assert np.array_equal(b2.dcsr.nonempty_rows, b.dcsr.nonempty_rows)
+
+
+def test_blob_roundtrip_empty_block():
+    b = build_block(
+        "task", 0, 0, 4, 4, np.empty(0, np.int64), np.empty(0, np.int64)
+    )
+    b2 = Block.from_blob(b.to_blob())
+    assert b2.nnz == 0
+    assert b2.dcsr.n_rows == 4
+
+
+def test_blob_is_single_contiguous_array():
+    blob = make_block().to_blob()
+    assert isinstance(blob, np.ndarray)
+    assert blob.dtype == np.int64
+    assert blob.ndim == 1
+
+
+def test_from_blob_validates():
+    with pytest.raises(ValueError):
+        Block.from_blob(np.array([1, 2], dtype=np.int64))
+    blob = make_block().to_blob()
+    blob_bad = blob.copy()
+    blob_bad[0] = 99  # bad kind code
+    with pytest.raises(ValueError):
+        Block.from_blob(blob_bad)
+    with pytest.raises(ValueError):
+        Block.from_blob(blob[:-1])  # truncated indices
+
+
+@pytest.mark.parametrize("blob", [True, False])
+def test_exchange_block_ring(blob):
+    """Blocks passed around a 4-rank ring return their metadata intact and
+    end up where the partner formulas say."""
+
+    def program(ctx):
+        comm = ctx.comm
+        b = build_block(
+            "U-row",
+            fixed_residue=ctx.rank,
+            inner_residue=ctx.rank,
+            n_outer=3,
+            n_inner=3,
+            outer_local=np.array([ctx.rank % 3]),
+            inner_local=np.array([(ctx.rank + 1) % 3]),
+        )
+        dest = (ctx.rank + 1) % comm.size
+        src = (ctx.rank - 1) % comm.size
+        got = exchange_block(comm, b, dest, src, blob, tag=40)
+        return (got.fixed_residue, got.inner_residue, got.dcsr.row(src % 3).tolist())
+
+    res = Engine(4).run(program)
+    for r in range(4):
+        src = (r - 1) % 4
+        assert res.returns[r] == (src, src, [(src + 1) % 3])
+
+
+def test_exchange_block_nonblob_uses_more_messages():
+    def program(ctx, blob):
+        b = make_block()
+        dest = src = (ctx.rank + 1) % 2
+        exchange_block(ctx.comm, b, dest, src, blob, tag=5)
+        return None
+
+    blob_run = Engine(2, trace=True)
+    blob_run.run(program, True)
+    blob_sends = len(blob_run.tracer.of_kind("send"))
+    raw_run = Engine(2, trace=True)
+    raw_run.run(program, False)
+    raw_sends = len(raw_run.tracer.of_kind("send"))
+    assert raw_sends == 3 * blob_sends

@@ -1,0 +1,79 @@
+"""Precise semantics of the instrumentation counters.
+
+These pin down the relationships the benchmarks rely on: Table 4 reads
+``task``, Figure 2 reads the per-phase totals, the ablations read the
+fast/slow hash split.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import TC2DConfig, count_triangles_2d
+from repro.graph import erdos_renyi_gnm
+
+
+@pytest.fixture(scope="module")
+def run16():
+    g = erdos_renyi_gnm(300, 2600, seed=21)
+    return count_triangles_2d(g, 16, dataset="er"), g
+
+
+def test_shift_records_tasks_sum_to_counter(run16):
+    res, _g = run16
+    assert sum(r.tasks for r in res.shift_records) == int(res.tasks_total)
+
+
+def test_probes_bound_triangles(run16):
+    res, _g = run16
+    # Every counted triangle required at least one successful probe.
+    assert res.probes_total >= res.count
+
+
+def test_tasks_bounded_by_edges_times_shifts(run16):
+    res, g = run16
+    assert res.tasks_total <= g.num_edges * math.isqrt(res.p)
+
+
+def test_fast_slow_probe_split_is_exhaustive(run16):
+    res, _g = run16
+    ct = res.counters_tct
+    total = ct.get("hash_probe", 0) + ct.get("hash_probe_fast", 0)
+    assert total == res.probes_total
+    assert total > 0
+
+
+def test_modified_hashing_off_moves_all_probes_to_slow():
+    g = erdos_renyi_gnm(200, 1500, seed=22)
+    res = count_triangles_2d(g, 9, cfg=TC2DConfig(modified_hashing=False))
+    assert res.counters_tct.get("hash_probe_fast", 0) == 0
+    assert res.counters_tct.get("hash_insert_fast", 0) == 0
+
+
+def test_row_visits_larger_without_doubly_sparse():
+    g = erdos_renyi_gnm(200, 800, seed=23)
+    on = count_triangles_2d(g, 9)
+    off = count_triangles_2d(g, 9, cfg=TC2DConfig(doubly_sparse=False))
+    assert off.counters_tct["row_visit"] > on.counters_tct["row_visit"]
+
+
+def test_ppt_counters_separate_from_tct(run16):
+    res, _g = run16
+    # Preprocessing never performs hash probes; counting never relabels.
+    assert "hash_probe" not in res.counters_ppt
+    assert "hash_probe_fast" not in res.counters_ppt
+    assert "relabel" not in res.counters_tct
+    assert res.counters_ppt.get("scan", 0) > 0
+
+
+def test_op_rates_positive_for_both_phases(run16):
+    res, _g = run16
+    assert res.op_rate_kops("ppt") > 0
+    assert res.op_rate_kops("tct") > 0
+
+
+def test_mem_peak_recorded(run16):
+    res, _g = run16
+    assert res.extras["mem_peak_bytes"] > 0

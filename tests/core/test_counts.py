@@ -1,0 +1,91 @@
+"""TriangleCountResult record arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ShiftRecord, TriangleCountResult
+
+
+def make_result() -> TriangleCountResult:
+    return TriangleCountResult(
+        count=10,
+        p=4,
+        dataset="d",
+        ppt_time=2.0,
+        tct_time=3.0,
+        counters_ppt={"scan": 100.0},
+        counters_tct={"task": 30.0, "hash_probe": 60.0},
+        shift_records=[
+            ShiftRecord(shift=0, rank=0, compute_seconds=1.0, tasks=5),
+            ShiftRecord(shift=0, rank=1, compute_seconds=3.0, tasks=7),
+            ShiftRecord(shift=1, rank=0, compute_seconds=2.0, tasks=5),
+            ShiftRecord(shift=1, rank=1, compute_seconds=2.0, tasks=5),
+        ],
+    )
+
+
+def test_overall_time():
+    assert make_result().overall_time == pytest.approx(5.0)
+
+
+def test_tasks_and_probes():
+    r = make_result()
+    assert r.tasks_total == 30.0
+    assert r.probes_total == 60.0
+
+
+def test_ops_total_per_phase():
+    r = make_result()
+    assert r.ops_total("ppt") == 100.0
+    assert r.ops_total("tct") == 90.0
+
+
+def test_op_rate():
+    r = make_result()
+    assert r.op_rate_kops("ppt") == pytest.approx(100.0 / 2.0 / 1e3)
+    assert r.op_rate_kops("tct") == pytest.approx(90.0 / 3.0 / 1e3)
+    r.ppt_time = 0.0
+    assert r.op_rate_kops("ppt") == 0.0
+
+
+def test_shift_imbalance():
+    imb = make_result().shift_imbalance()
+    assert len(imb) == 2
+    z0 = imb[0]
+    assert z0[0] == 0
+    assert z0[1] == pytest.approx(3.0)  # max
+    assert z0[2] == pytest.approx(2.0)  # avg
+    assert z0[3] == pytest.approx(1.5)  # imbalance
+    z1 = imb[1]
+    assert z1[3] == pytest.approx(1.0)
+
+
+def test_summary_contains_fields():
+    s = make_result().summary()
+    assert "p=4" in s and "d" in s and "10" in s
+
+
+def test_to_dict_roundtrip():
+    r = make_result()
+    r2 = TriangleCountResult.from_dict(r.to_dict())
+    assert r2.count == r.count
+    assert r2.shift_records == r.shift_records
+    assert r2.counters_tct == r.counters_tct
+    assert r2.overall_time == pytest.approx(r.overall_time)
+
+
+def test_json_roundtrip(tmp_path):
+    r = make_result()
+    path = tmp_path / "res.json"
+    r.save_json(path)
+    r2 = TriangleCountResult.load_json(path)
+    assert r2.to_dict() == r.to_dict()
+
+
+def test_from_dict_defaults():
+    r = TriangleCountResult.from_dict(
+        {"count": 5, "p": 4, "ppt_time": 1.0, "tct_time": 2.0}
+    )
+    assert r.algorithm == "tc2d"
+    assert r.shift_records == []

@@ -1,0 +1,96 @@
+"""Triangle enumeration / census: exactness against independent oracles."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import TC2DConfig
+from repro.core.listing import triangle_census_2d
+from repro.graph import Graph, triangle_count_linalg
+from repro.graph.convert import to_networkx
+from repro.graph.stats import triangles_per_vertex
+
+
+@pytest.mark.parametrize("p", [1, 4, 9, 16])
+def test_census_count_matches_oracle(er_graph, p):
+    census = triangle_census_2d(er_graph, p)
+    assert census.count == triangle_count_linalg(er_graph)
+    assert len(census.triangles) == census.count
+
+
+def test_triangles_are_unique_and_real(er_graph):
+    census = triangle_census_2d(er_graph, 9)
+    tri = np.sort(census.triangles, axis=1)
+    assert len(np.unique(tri, axis=0)) == census.count
+    for a, b, c in tri[:50]:
+        assert er_graph.has_edge(int(a), int(b))
+        assert er_graph.has_edge(int(a), int(c))
+        assert er_graph.has_edge(int(b), int(c))
+
+
+def test_vertex_counts_match_stats_oracle(cluster_graph):
+    census = triangle_census_2d(cluster_graph, 4)
+    assert np.array_equal(
+        census.vertex_triangles, triangles_per_vertex(cluster_graph)
+    )
+
+
+def test_edge_support_sums_to_three_t(ba_graph):
+    census = triangle_census_2d(ba_graph, 4)
+    assert int(census.edge_support.sum()) == 3 * census.count
+
+
+def test_edge_support_matches_networkx():
+    from repro.graph import erdos_renyi_gnm
+
+    g = erdos_renyi_gnm(80, 400, seed=3)
+    census = triangle_census_2d(g, 4)
+    nxg = to_networkx(g)
+    for (u, v), s in zip(census.edges, census.edge_support):
+        assert len(set(nxg[int(u)]) & set(nxg[int(v)])) == s
+
+
+def test_census_on_skewed_graph(rmat_small):
+    census = triangle_census_2d(rmat_small, 9)
+    assert census.count == triangle_count_linalg(rmat_small)
+
+
+def test_census_empty_graph():
+    g = Graph.from_edges(5, np.empty((0, 2), dtype=np.int64))
+    census = triangle_census_2d(g, 4)
+    assert census.count == 0
+    assert census.triangles.shape == (0, 3)
+    assert np.all(census.vertex_triangles == 0)
+
+
+@pytest.mark.parametrize(
+    "cfg",
+    [
+        TC2DConfig(doubly_sparse=False),
+        TC2DConfig(modified_hashing=False),
+        TC2DConfig(early_stop=False),
+        TC2DConfig(initial_cyclic=False),
+        TC2DConfig(degree_reorder=False),
+    ],
+)
+def test_census_config_invariance(tiny_graph, cfg):
+    census = triangle_census_2d(tiny_graph, 4, cfg=cfg)
+    assert census.count == 3
+    tri = {tuple(sorted(t)) for t in census.triangles.tolist()}
+    assert tri == {(0, 1, 2), (0, 2, 3), (2, 3, 4)}
+
+
+def test_census_rejects_ijk():
+    g = Graph.from_edges(3, np.array([[0, 1], [1, 2], [0, 2]]))
+    with pytest.raises(ValueError):
+        triangle_census_2d(g, 1, cfg=TC2DConfig(enumeration="ijk"))
+
+
+def test_census_determinism(er_graph):
+    a = triangle_census_2d(er_graph, 9)
+    b = triangle_census_2d(er_graph, 9)
+    assert np.array_equal(
+        np.sort(a.triangles, axis=0), np.sort(b.triangles, axis=0)
+    )

@@ -1,0 +1,62 @@
+"""Property-based tests of the preprocessing building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import ProcessorGrid
+from repro.core.preprocess import chunk_bounds, cyclic_bounds, _cyclic_relabel
+
+
+@settings(max_examples=100, deadline=None)
+@given(n=st.integers(1, 500), p=st.integers(1, 32))
+def test_cyclic_relabel_is_permutation(n, p):
+    offsets = cyclic_bounds(n, p)
+    v = np.arange(n, dtype=np.int64)
+    lam = _cyclic_relabel(v, n, p, offsets)
+    assert sorted(lam.tolist()) == list(range(n))
+
+
+@settings(max_examples=100, deadline=None)
+@given(n=st.integers(1, 500), p=st.integers(1, 32))
+def test_cyclic_relabel_owner_is_v_mod_p(n, p):
+    """The image of residue class r fills exactly rank r's bound range."""
+    offsets = cyclic_bounds(n, p)
+    v = np.arange(n, dtype=np.int64)
+    lam = _cyclic_relabel(v, n, p, offsets)
+    owners = np.searchsorted(offsets, lam, side="right") - 1
+    assert np.array_equal(owners, v % p)
+
+
+@settings(max_examples=100, deadline=None)
+@given(n=st.integers(0, 1000), p=st.integers(1, 40))
+def test_bounds_partition_range(n, p):
+    for bounds in (chunk_bounds(n, p), cyclic_bounds(n, p)):
+        assert bounds[0] == 0 and bounds[-1] == n
+        assert np.all(np.diff(bounds) >= 0)
+        sizes = np.diff(bounds)
+        assert sizes.max() - sizes.min() <= 1 or n < p
+
+
+@settings(max_examples=60, deadline=None)
+@given(q=st.integers(1, 13), n=st.integers(0, 300))
+def test_grid_local_counts_partition(q, n):
+    grid = ProcessorGrid(q)
+    assert sum(grid.local_count(r, n) for r in range(q)) == n
+
+
+@settings(max_examples=60, deadline=None)
+@given(q=st.integers(2, 13))
+def test_cannon_shift_orbit_covers_all_columns(q):
+    """Following shift_u from any start visits every grid column once."""
+    grid = ProcessorGrid(q)
+    for x in range(q):
+        col = 0
+        seen = set()
+        for _ in range(q):
+            seen.add(col)
+            dest, _src = grid.shift_u(x, col)
+            _dx, col = grid.coords(dest)
+        assert seen == set(range(q))

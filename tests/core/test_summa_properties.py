@@ -1,0 +1,49 @@
+"""Additional SUMMA geometry properties and panel arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.summa import _panels
+from repro.core import count_triangles_summa
+from repro.graph import erdos_renyi_gnm, triangle_count_linalg
+
+
+@settings(max_examples=80, deadline=None)
+@given(n=st.integers(1, 10_000), pr=st.integers(1, 12), pc=st.integers(1, 12))
+def test_panels_cover_inner_dimension(n, pr, pc):
+    T, w = _panels(n, pr, pc)
+    assert T == pr * pc // math.gcd(pr, pc)
+    # T panels of width w cover [0, n).
+    assert T * w >= n
+    # Panel index of the last vertex is within range.
+    assert (n - 1) // w < T or n == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(pr=st.integers(1, 12), pc=st.integers(1, 12))
+def test_panel_ownership_covers_grid(pr, pc):
+    """Every panel has a U owner column and an L owner row, and every
+    grid column/row owns at least one panel."""
+    T = pr * pc // math.gcd(pr, pc)
+    u_owners = {t % pc for t in range(T)}
+    l_owners = {t % pr for t in range(T)}
+    assert u_owners == set(range(pc))
+    assert l_owners == set(range(pr))
+
+
+@pytest.mark.parametrize("pr,pc", [(5, 2), (2, 7), (6, 4)])
+def test_asymmetric_grids_exact(pr, pc):
+    g = erdos_renyi_gnm(300, 2500, seed=13)
+    assert count_triangles_summa(g, pr, pc).count == triangle_count_linalg(g)
+
+
+def test_transpose_grid_same_count():
+    g = erdos_renyi_gnm(200, 1500, seed=14)
+    a = count_triangles_summa(g, 2, 5)
+    b = count_triangles_summa(g, 5, 2)
+    assert a.count == b.count == triangle_count_linalg(g)

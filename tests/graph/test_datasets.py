@@ -1,0 +1,76 @@
+"""Dataset registry behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import dataset_names, load_dataset
+from repro.graph.datasets import PAPER_TABLE1, REGISTRY, clear_cache
+
+
+def test_names_cover_paper_families():
+    names = dataset_names()
+    assert "twitter-like" in names
+    assert "friendster-like" in names
+    assert any(n.startswith("g500-") for n in names)
+
+
+def test_unknown_dataset_raises():
+    with pytest.raises(KeyError):
+        load_dataset("nope")
+
+
+def test_cache_returns_same_object():
+    a = load_dataset("g500-s12")
+    b = load_dataset("g500-s12")
+    assert a is b
+    clear_cache()
+    c = load_dataset("g500-s12")
+    assert c is not a
+    assert c.adj == a.adj  # deterministic rebuild
+
+
+def test_seed_changes_graph():
+    a = load_dataset("g500-s12", seed=0)
+    b = load_dataset("g500-s12", seed=1)
+    assert a.adj != b.adj
+
+
+def test_scale_env_changes_size(monkeypatch):
+    clear_cache()
+    a = load_dataset("twitter-like")
+    monkeypatch.setenv("REPRO_DATASET_SCALE", "0.5")
+    clear_cache()
+    b = load_dataset("twitter-like")
+    assert b.n < a.n
+    monkeypatch.delenv("REPRO_DATASET_SCALE")
+    clear_cache()
+
+
+def test_friendster_like_is_triangle_poor():
+    from repro.graph import triangle_count_linalg
+
+    tw = load_dataset("twitter-like")
+    fr = load_dataset("friendster-like")
+    tw_density = triangle_count_linalg(tw) / tw.num_edges
+    fr_density = triangle_count_linalg(fr) / fr.num_edges
+    assert tw_density > 10 * fr_density
+
+
+def test_paper_table1_reference_is_complete():
+    assert set(PAPER_TABLE1) == {
+        "twitter",
+        "friendster",
+        "g500-s26",
+        "g500-s27",
+        "g500-s28",
+        "g500-s29",
+    }
+    for stats in PAPER_TABLE1.values():
+        assert {"vertices", "edges", "triangles"} <= set(stats)
+
+
+def test_registry_specs_documented():
+    for spec in REGISTRY.values():
+        assert spec.description
+        assert spec.paper_name

@@ -1,0 +1,66 @@
+"""DCSR: the doubly-compressed iteration structure."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import CSR, DCSR
+
+
+def make() -> DCSR:
+    # Rows 1 and 4 non-empty out of 6.
+    return DCSR.from_coo(6, [1, 1, 4], [0, 3, 2], n_cols=5)
+
+
+def test_nonempty_rows():
+    d = make()
+    assert np.array_equal(d.nonempty_rows, [1, 4])
+
+
+def test_random_access_by_full_indptr():
+    d = make()
+    assert np.array_equal(d.row(1), [0, 3])
+    assert np.array_equal(d.row(0), [])
+    assert np.array_equal(d.row(4), [2])
+
+
+def test_iter_doubly_sparse_skips_empty():
+    d = make()
+    visited = [i for i, _ in d.iter_rows(doubly_sparse=True)]
+    assert visited == [1, 4]
+
+
+def test_iter_dense_visits_all():
+    d = make()
+    visited = [i for i, _ in d.iter_rows(doubly_sparse=False)]
+    assert visited == list(range(6))
+
+
+def test_iteration_contents_agree():
+    d = make()
+    sparse = {i: list(r) for i, r in d.iter_rows(True) if len(r)}
+    dense = {i: list(r) for i, r in d.iter_rows(False) if len(r)}
+    assert sparse == dense
+
+
+def test_row_visit_cost():
+    d = make()
+    assert d.row_visit_cost(True) == 2
+    assert d.row_visit_cost(False) == 6
+
+
+def test_max_row_length():
+    assert make().max_row_length() == 2
+    assert DCSR(CSR.empty(3)).max_row_length() == 0
+
+
+def test_nbytes_estimate_positive():
+    assert make().nbytes_estimate() > 0
+
+
+def test_properties_passthrough():
+    d = make()
+    assert d.n_rows == 6
+    assert d.nnz == 3
+    assert len(d.indptr) == 7
+    assert len(d.indices) == 3

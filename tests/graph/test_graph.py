@@ -1,0 +1,89 @@
+"""Graph invariants: simplicity, symmetry, relabeling, U/L split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+
+
+def test_from_edges_removes_self_loops_and_duplicates():
+    edges = np.array([[0, 1], [1, 0], [0, 0], [1, 2], [1, 2]])
+    g = Graph.from_edges(3, edges)
+    assert g.num_edges == 2
+    assert not g.has_edge(0, 0)
+
+
+def test_adjacency_is_symmetric(er_graph):
+    rows, cols = er_graph.adj.to_coo()
+    fwd = set(zip(rows.tolist(), cols.tolist()))
+    assert all((c, r) in fwd for r, c in fwd)
+
+
+def test_degrees_sum_to_twice_edges(er_graph):
+    assert int(er_graph.degrees.sum()) == 2 * er_graph.num_edges
+
+
+def test_neighbors_sorted(er_graph):
+    for v in range(0, er_graph.n, 17):
+        nbrs = er_graph.neighbors(v)
+        assert np.all(np.diff(nbrs) > 0)
+
+
+def test_edge_array_canonical(tiny_graph):
+    e = tiny_graph.edge_array()
+    assert np.all(e[:, 0] < e[:, 1])
+    assert len(e) == tiny_graph.num_edges == 7
+
+
+def test_has_edge(tiny_graph):
+    assert tiny_graph.has_edge(0, 1)
+    assert tiny_graph.has_edge(1, 0)
+    assert not tiny_graph.has_edge(0, 4)
+    assert not tiny_graph.has_edge(5, 0)
+
+
+def test_relabel_preserves_structure(tiny_graph):
+    perm = np.array([3, 4, 5, 0, 1, 2])
+    g2 = tiny_graph.relabel(perm)
+    assert g2.num_edges == tiny_graph.num_edges
+    for u, v in tiny_graph.edge_array():
+        assert g2.has_edge(int(perm[u]), int(perm[v]))
+
+
+def test_relabel_rejects_non_permutation(tiny_graph):
+    with pytest.raises(ValueError):
+        tiny_graph.relabel(np.zeros(6, dtype=np.int64))
+    with pytest.raises(ValueError):
+        tiny_graph.relabel(np.arange(5))
+
+
+def test_upper_lower_partition(er_graph):
+    U = er_graph.upper_csr()
+    L = er_graph.lower_csr()
+    assert U.nnz == L.nnz == er_graph.num_edges
+    assert U.nnz + L.nnz == er_graph.adj.nnz
+    ur, uc = U.to_coo()
+    assert np.all(ur < uc)
+    lr, lc = L.to_coo()
+    assert np.all(lr > lc)
+    # L is U transposed.
+    assert U.transpose() == L
+
+
+def test_empty_graph():
+    g = Graph.from_edges(5, np.empty((0, 2), dtype=np.int64))
+    assert g.n == 5
+    assert g.num_edges == 0
+    assert g.upper_csr().nnz == 0
+
+
+def test_bad_edge_shape_rejected():
+    with pytest.raises(ValueError):
+        Graph.from_edges(3, np.array([[0, 1, 2]]))
+
+
+def test_isolated_vertices_kept(tiny_graph):
+    assert tiny_graph.n == 6
+    assert tiny_graph.degrees[5] == 0

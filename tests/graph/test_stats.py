@@ -1,0 +1,89 @@
+"""Graph statistics against networkx as an independent oracle."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    clustering_coefficients,
+    degree_summary,
+    global_clustering,
+    triangle_count_linalg,
+    wedge_count,
+)
+from repro.graph.convert import to_networkx
+from repro.graph.stats import triangles_per_vertex
+
+
+def test_tiny_graph_count(tiny_graph):
+    assert triangle_count_linalg(tiny_graph) == 3
+
+
+def test_count_matches_networkx(er_graph):
+    nxg = to_networkx(er_graph)
+    assert triangle_count_linalg(er_graph) == sum(nx.triangles(nxg).values()) // 3
+
+
+def test_count_matches_networkx_skewed(rmat_small):
+    nxg = to_networkx(rmat_small)
+    assert triangle_count_linalg(rmat_small) == sum(nx.triangles(nxg).values()) // 3
+
+
+def test_triangles_per_vertex_matches_networkx(ba_graph):
+    nxg = to_networkx(ba_graph)
+    ours = triangles_per_vertex(ba_graph)
+    theirs = nx.triangles(nxg)
+    assert all(int(ours[v]) == theirs[v] for v in range(ba_graph.n))
+
+
+def test_per_vertex_sums_to_three_times_total(cluster_graph):
+    tv = triangles_per_vertex(cluster_graph)
+    assert int(tv.sum()) == 3 * triangle_count_linalg(cluster_graph)
+
+
+def test_wedge_count(tiny_graph):
+    d = tiny_graph.degrees
+    assert wedge_count(tiny_graph) == int((d * (d - 1) // 2).sum())
+
+
+def test_global_clustering_matches_networkx(er_graph):
+    nxg = to_networkx(er_graph)
+    assert global_clustering(er_graph) == pytest.approx(nx.transitivity(nxg))
+
+
+def test_local_clustering_matches_networkx(cluster_graph):
+    nxg = to_networkx(cluster_graph)
+    ours = clustering_coefficients(cluster_graph)
+    theirs = nx.clustering(nxg)
+    for v in range(cluster_graph.n):
+        assert ours[v] == pytest.approx(theirs[v])
+
+
+def test_empty_graph_stats():
+    from repro.graph import Graph
+
+    g = Graph.from_edges(4, np.empty((0, 2), dtype=np.int64))
+    assert triangle_count_linalg(g) == 0
+    assert wedge_count(g) == 0
+    assert global_clustering(g) == 0.0
+    assert np.all(clustering_coefficients(g) == 0)
+
+
+def test_degree_summary(tiny_graph):
+    s = degree_summary(tiny_graph)
+    assert s.n == 6 and s.m == 7
+    assert s.d_max == 4  # vertex 2: neighbors 0,1,3,4
+    assert s.d_min == 0  # vertex 5 isolated
+    assert "n=6" in str(s)
+
+
+def test_triangle_free_graph():
+    from repro.graph import Graph
+
+    # A 6-cycle has no triangles but plenty of wedges.
+    edges = np.array([[i, (i + 1) % 6] for i in range(6)])
+    g = Graph.from_edges(6, edges)
+    assert triangle_count_linalg(g) == 0
+    assert wedge_count(g) == 6

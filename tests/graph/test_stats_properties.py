@@ -1,0 +1,81 @@
+"""Property-based graph statistics invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, global_clustering, triangle_count_linalg, wedge_count
+from repro.graph.stats import clustering_coefficients, triangles_per_vertex
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_n=35, max_m=100):
+    n = draw(st.integers(3, max_n))
+    m = draw(st.integers(0, max_m))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    arr = (
+        np.array(edges, dtype=np.int64)
+        if edges
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    return Graph.from_edges(n, arr)
+
+
+@settings(**SETTINGS)
+@given(g=graphs())
+def test_per_vertex_counts_sum_to_three_t(g):
+    assert int(triangles_per_vertex(g).sum()) == 3 * triangle_count_linalg(g)
+
+
+@settings(**SETTINGS)
+@given(g=graphs())
+def test_triangles_bounded_by_wedges(g):
+    assert 3 * triangle_count_linalg(g) <= wedge_count(g)
+
+
+@settings(**SETTINGS)
+@given(g=graphs())
+def test_clustering_in_unit_interval(g):
+    cc = clustering_coefficients(g)
+    assert np.all(cc >= 0) and np.all(cc <= 1.0 + 1e-12)
+    assert 0.0 <= global_clustering(g) <= 1.0 + 1e-12
+
+
+@settings(**SETTINGS)
+@given(g=graphs())
+def test_adding_an_edge_never_decreases_triangles(g):
+    t0 = triangle_count_linalg(g)
+    # Add the lexicographically first missing edge, if any.
+    for u in range(g.n):
+        nbrs = set(g.neighbors(u).tolist())
+        for v in range(u + 1, g.n):
+            if v not in nbrs:
+                edges = np.concatenate([g.edge_array(), [[u, v]]])
+                g2 = Graph.from_edges(g.n, edges)
+                assert triangle_count_linalg(g2) >= t0
+                return
+
+
+@settings(**SETTINGS)
+@given(g=graphs(), seed=st.integers(0, 99))
+def test_upper_lower_counts_agree(g, seed):
+    """Counting from C[U] and from C[L] (transposed construction) agree."""
+    U = g.upper_csr().to_scipy()
+    L = g.lower_csr().to_scipy()
+    cu = int((U @ U).multiply(U).sum())
+    cl = int((L @ L).multiply(L).sum())
+    assert cu == cl == triangle_count_linalg(g)

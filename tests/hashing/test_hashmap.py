@@ -1,0 +1,141 @@
+"""BlockHashMap: correctness of both build/lookup modes and the counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import BlockHashMap
+
+
+def test_capacity_rounds_to_pow2():
+    assert BlockHashMap(5).capacity == 8
+    assert BlockHashMap(8).capacity == 8
+    assert BlockHashMap(0).capacity == 4
+
+
+def test_build_too_many_keys_rejected():
+    hm = BlockHashMap(4)
+    with pytest.raises(ValueError):
+        hm.build(np.arange(5))
+
+
+def test_empty_build_and_lookup():
+    hm = BlockHashMap(8)
+    assert hm.build(np.empty(0, dtype=np.int64)) is True
+    hits, steps = hm.lookup_many(np.array([1, 2, 3]))
+    assert hits == 0
+
+
+def test_fast_path_used_when_slots_distinct():
+    hm = BlockHashMap(64)
+    assert hm.build(np.array([1, 2, 3], dtype=np.int64)) is True
+    assert hm.is_fast_mode
+    assert hm.stats.insert_steps == hm.stats.inserts
+
+
+def test_fast_path_fallback_on_slot_collision():
+    hm = BlockHashMap(8)
+    # 0 and 8 collide under & 7.
+    assert hm.build(np.array([0, 8], dtype=np.int64), allow_fast=True) is False
+    assert not hm.is_fast_mode
+    hits, _ = hm.lookup_many(np.array([0, 8, 16], dtype=np.int64))
+    assert hits == 2
+
+
+def test_allow_fast_false_forces_probing():
+    hm = BlockHashMap(64)
+    assert hm.build(np.array([1, 2, 3], dtype=np.int64), allow_fast=False) is False
+    hits, _ = hm.lookup_many(np.array([1, 2, 3, 4], dtype=np.int64))
+    assert hits == 3
+
+
+def test_rebuild_invalidates_previous_contents():
+    hm = BlockHashMap(16)
+    hm.build(np.array([1, 2, 3], dtype=np.int64))
+    hm.build(np.array([7, 8], dtype=np.int64))
+    hits, _ = hm.lookup_many(np.array([1, 2, 3, 7, 8], dtype=np.int64))
+    assert hits == 2
+
+
+def test_rebuild_alternating_modes():
+    hm = BlockHashMap(8)
+    hm.build(np.array([0, 8], dtype=np.int64))  # probed
+    hm.build(np.array([1, 2], dtype=np.int64))  # fast
+    assert hm.is_fast_mode
+    hits, _ = hm.lookup_many(np.array([0, 8, 1, 2], dtype=np.int64))
+    assert hits == 2
+
+
+def test_probed_lookup_counts_collision_steps():
+    hm = BlockHashMap(8)
+    hm.build(np.array([0, 8, 16], dtype=np.int64), allow_fast=True)
+    assert hm.stats.insert_steps > 3
+    before = hm.stats.lookup_steps
+    hits, steps = hm.lookup_many(np.array([16], dtype=np.int64))
+    assert hits == 1
+    assert steps >= 1
+    assert hm.stats.lookup_steps - before == steps
+
+
+def test_full_table_lookup_of_absent_key_terminates():
+    hm = BlockHashMap(4)
+    hm.build(np.array([0, 4, 8, 12], dtype=np.int64), allow_fast=True)
+    hits, steps = hm.lookup_many(np.array([16], dtype=np.int64))
+    assert hits == 0
+    assert steps <= hm.capacity + 1
+
+
+def test_hit_mask_matches_lookup_many():
+    hm = BlockHashMap(32)
+    keys = np.array([3, 17, 40], dtype=np.int64)
+    hm.build(keys, allow_fast=False)
+    qs = np.array([3, 4, 17, 40, 41], dtype=np.int64)
+    mask = hm.hit_mask(qs)
+    assert np.array_equal(mask, [True, False, True, True, False])
+
+
+def test_contains_scalar():
+    hm = BlockHashMap(16)
+    hm.build(np.array([5], dtype=np.int64))
+    assert hm.contains(5)
+    assert not hm.contains(6)
+
+
+def test_stats_merge():
+    from repro.hashing import HashStats
+
+    a = HashStats(builds=1, inserts=2, insert_steps=3, lookups=4, lookup_steps=5)
+    b = HashStats(builds=1, fast_builds=1, inserts=1, insert_steps=1, lookups=1, lookup_steps=1)
+    a.merge(b)
+    assert (a.builds, a.fast_builds, a.inserts) == (2, 1, 3)
+    assert (a.insert_steps, a.lookups, a.lookup_steps) == (4, 5, 6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 2**40), max_size=40, unique=True),
+    queries=st.lists(st.integers(0, 2**40), max_size=60),
+    allow_fast=st.booleans(),
+)
+def test_property_membership_exact(keys, queries, allow_fast):
+    keys_arr = np.array(keys, dtype=np.int64)
+    qs = np.array(queries, dtype=np.int64)
+    hm = BlockHashMap(max(4, 2 * len(keys)))
+    hm.build(keys_arr, allow_fast=allow_fast)
+    hits, _ = hm.lookup_many(qs)
+    assert hits == int(np.isin(qs, keys_arr).sum())
+    mask = hm.hit_mask(qs)
+    assert np.array_equal(mask, np.isin(qs, keys_arr))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=30, unique=True))
+def test_property_all_inserted_keys_found(keys):
+    keys_arr = np.array(keys, dtype=np.int64)
+    hm = BlockHashMap(2 * len(keys))
+    hm.build(keys_arr)
+    hits, _ = hm.lookup_many(keys_arr)
+    assert hits == len(keys)

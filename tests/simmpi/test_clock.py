@@ -1,0 +1,94 @@
+"""RankClock: phase nesting, accounting, monotonicity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simmpi import RankClock
+
+
+def test_clock_starts_at_zero():
+    c = RankClock(0)
+    assert c.now == 0.0
+
+
+def test_compute_and_comm_advance():
+    c = RankClock(0)
+    c.advance_compute(1.5)
+    c.advance_comm(0.5)
+    assert c.now == pytest.approx(2.0)
+
+
+def test_negative_advances_rejected():
+    c = RankClock(0)
+    with pytest.raises(ValueError):
+        c.advance_compute(-1)
+    with pytest.raises(ValueError):
+        c.advance_comm(-0.1)
+
+
+def test_wait_until_future_counts_as_comm():
+    c = RankClock(0)
+    ph = c.phase_begin("p")
+    waited = c.wait_until(3.0)
+    c.phase_end(ph)
+    assert waited == pytest.approx(3.0)
+    assert c.now == pytest.approx(3.0)
+    assert c.phases["p"].comm == pytest.approx(3.0)
+    assert c.phases["p"].compute == 0.0
+
+
+def test_wait_until_past_is_free():
+    c = RankClock(0)
+    c.advance_compute(5.0)
+    assert c.wait_until(2.0) == 0.0
+    assert c.now == pytest.approx(5.0)
+
+
+def test_phase_accounting_split():
+    c = RankClock(0)
+    ph = c.phase_begin("work")
+    c.advance_compute(2.0)
+    c.advance_comm(1.0)
+    c.phase_end(ph)
+    rec = c.phases["work"]
+    assert rec.compute == pytest.approx(2.0)
+    assert rec.comm == pytest.approx(1.0)
+    assert rec.elapsed == pytest.approx(3.0)
+    assert rec.comm_fraction == pytest.approx(1 / 3)
+
+
+def test_nested_phases_both_charged():
+    c = RankClock(0)
+    outer = c.phase_begin("outer")
+    c.advance_compute(1.0)
+    inner = c.phase_begin("shift")
+    c.advance_compute(2.0)
+    c.phase_end(inner)
+    c.phase_end(outer)
+    assert c.phases["outer"].compute == pytest.approx(3.0)
+    assert c.phases["outer/shift"].compute == pytest.approx(2.0)
+
+
+def test_reentered_phase_accumulates():
+    c = RankClock(0)
+    for dt in (1.0, 2.0):
+        ph = c.phase_begin("p")
+        c.advance_compute(dt)
+        c.phase_end(ph)
+    assert c.phases["p"].compute == pytest.approx(3.0)
+
+
+def test_mismatched_phase_end_raises():
+    c = RankClock(0)
+    a = c.phase_begin("a")
+    c.phase_begin("b")
+    with pytest.raises(RuntimeError):
+        c.phase_end(a)
+
+
+def test_comm_fraction_idle_phase_is_zero():
+    c = RankClock(0)
+    ph = c.phase_begin("idle")
+    c.phase_end(ph)
+    assert c.phases["idle"].comm_fraction == 0.0

@@ -1,0 +1,107 @@
+"""Communicator edge cases: odd splits, payload aliasing, self-loops."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi import Engine, SUM
+
+
+def test_split_negative_colors():
+    def program(ctx):
+        color = -1 if ctx.rank < 2 else -7
+        sub = ctx.comm.split(color)
+        return (sub.size, sub.allreduce(1, SUM))
+
+    res = Engine(5).run(program)
+    assert res.returns[0] == (2, 2)
+    assert res.returns[4] == (3, 3)
+
+
+def test_split_singleton_groups():
+    def program(ctx):
+        sub = ctx.comm.split(ctx.rank)  # every rank alone
+        assert sub.size == 1 and sub.rank == 0
+        return sub.allreduce(ctx.rank * 3, SUM)
+
+    res = Engine(4).run(program)
+    assert res.returns == [0, 3, 6, 9]
+
+
+def test_split_of_split():
+    def program(ctx):
+        half = ctx.comm.split(ctx.rank // 4)  # two groups of 4
+        quarter = half.split(half.rank // 2)  # four groups of 2
+        return (half.size, quarter.size, quarter.allgather(ctx.rank))
+
+    res = Engine(8).run(program)
+    assert res.returns[0] == (4, 2, [0, 1])
+    assert res.returns[7] == (4, 2, [6, 7])
+
+
+def test_sent_array_alias_is_not_copied_but_safe_pattern_works():
+    """The engine passes payloads by reference (documented); senders that
+    rebuild arrays rather than mutating them in place are safe."""
+
+    def program(ctx):
+        if ctx.rank == 0:
+            arr = np.array([1, 2, 3])
+            ctx.comm.send(arr, dest=1)
+            arr = arr + 10  # rebind, do not mutate
+            ctx.comm.send(arr, dest=1)
+            return None
+        a = ctx.comm.recv(source=0)
+        b = ctx.comm.recv(source=0)
+        return (a.tolist(), b.tolist())
+
+    res = Engine(2).run(program)
+    assert res.returns[1] == ([1, 2, 3], [11, 12, 13])
+
+
+def test_zero_byte_payloads():
+    def program(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(b"", dest=1)
+            ctx.comm.send(np.empty(0, dtype=np.int64), dest=1)
+            return None
+        a = ctx.comm.recv(source=0)
+        b = ctx.comm.recv(source=0)
+        return (a, len(b))
+
+    res = Engine(2).run(program)
+    assert res.returns[1] == (b"", 0)
+
+
+def test_alltoall_with_none_entries():
+    def program(ctx):
+        objs = [None if d == ctx.rank else (ctx.rank, d) for d in range(ctx.comm.size)]
+        got = ctx.comm.alltoall(objs)
+        assert got[ctx.rank] is None
+        return all(
+            got[s] == (s, ctx.rank) for s in range(ctx.comm.size) if s != ctx.rank
+        )
+
+    res = Engine(4).run(program)
+    assert all(res.returns)
+
+
+def test_bcast_large_array_binomial():
+    def program(ctx):
+        data = np.arange(5000, dtype=np.int64) if ctx.rank == 2 else None
+        out = ctx.comm.bcast(data, root=2)
+        return int(out.sum())
+
+    res = Engine(7).run(program)
+    assert res.returns == [sum(range(5000))] * 7
+
+
+def test_clock_monotone_through_heavy_traffic():
+    def program(ctx):
+        ts = []
+        for round_ in range(5):
+            ctx.comm.alltoall([round_] * ctx.comm.size)
+            ts.append(ctx.clock.now)
+        assert ts == sorted(ts)
+        return True
+
+    assert all(Engine(6).run(program).returns)

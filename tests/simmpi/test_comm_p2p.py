@@ -1,0 +1,122 @@
+"""Point-to-point semantics: matching, ordering, wildcards, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simmpi import ANY_SOURCE, ANY_TAG, Engine
+from repro.simmpi.errors import InvalidRankError
+
+
+def test_tag_selective_matching():
+    def program(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send("a", dest=1, tag=1)
+            ctx.comm.send("b", dest=1, tag=2)
+            return None
+        second = ctx.comm.recv(source=0, tag=2)
+        first = ctx.comm.recv(source=0, tag=1)
+        return (first, second)
+
+    res = Engine(2).run(program)
+    assert res.returns[1] == ("a", "b")
+
+
+def test_non_overtaking_same_tag():
+    def program(ctx):
+        if ctx.rank == 0:
+            for i in range(10):
+                ctx.comm.send(i, dest=1, tag=7)
+            return None
+        return [ctx.comm.recv(source=0, tag=7) for _ in range(10)]
+
+    res = Engine(2).run(program)
+    assert res.returns[1] == list(range(10))
+
+
+def test_any_source_receives_earliest_sent():
+    def program(ctx):
+        if ctx.rank == 0:
+            got = []
+            for _ in range(2):
+                payload, status = ctx.comm.recv(
+                    source=ANY_SOURCE, tag=ANY_TAG, return_status=True
+                )
+                got.append((payload, status.source, status.tag))
+            return got
+        ctx.comm.send(f"from{ctx.rank}", dest=0, tag=ctx.rank)
+        return None
+
+    res = Engine(3).run(program)
+    payloads = {p for (p, _s, _t) in res.returns[0]}
+    sources = {s for (_p, s, _t) in res.returns[0]}
+    assert payloads == {"from1", "from2"}
+    assert sources == {1, 2}
+    for p, s, t in res.returns[0]:
+        assert p == f"from{s}" and t == s
+
+
+def test_sendrecv_exchanges_between_neighbors():
+    def program(ctx):
+        right = (ctx.rank + 1) % ctx.num_ranks
+        left = (ctx.rank - 1) % ctx.num_ranks
+        return ctx.comm.sendrecv(ctx.rank, dest=right, source=left)
+
+    res = Engine(5).run(program)
+    assert res.returns == [(r - 1) % 5 for r in range(5)]
+
+
+def test_sendrecv_self():
+    def program(ctx):
+        return ctx.comm.sendrecv(f"self{ctx.rank}", dest=ctx.rank, source=ctx.rank)
+
+    res = Engine(3).run(program)
+    assert res.returns == ["self0", "self1", "self2"]
+
+
+def test_invalid_dest_raises():
+    def program(ctx):
+        ctx.comm.send("x", dest=99)
+
+    from repro.simmpi import RankFailedError
+
+    with pytest.raises(RankFailedError) as ei:
+        Engine(2).run(program)
+    assert isinstance(ei.value.original, InvalidRankError)
+
+
+def test_negative_user_tag_rejected():
+    def program(ctx):
+        ctx.comm.send("x", dest=0, tag=-3)
+
+    from repro.simmpi import RankFailedError
+
+    with pytest.raises(RankFailedError) as ei:
+        Engine(1).run(program)
+    assert isinstance(ei.value.original, ValueError)
+
+
+def test_messages_between_split_comms_are_isolated():
+    def program(ctx):
+        sub = ctx.comm.split(color=ctx.rank % 2, key=ctx.rank)
+        # World-comm message must not be received by a sub-comm recv.
+        if ctx.rank == 0:
+            ctx.comm.send("world", dest=2, tag=5)
+            sub.send("sub", dest=1, tag=5)  # to rank 2 in world terms
+            return None
+        if ctx.rank == 2:
+            got_sub = sub.recv(source=0, tag=5)
+            got_world = ctx.comm.recv(source=0, tag=5)
+            return (got_sub, got_world)
+        return None
+
+    res = Engine(4).run(program)
+    assert res.returns[2] == ("sub", "world")
+
+
+def test_message_to_self_via_comm():
+    def program(ctx):
+        ctx.comm.send("me", dest=ctx.rank, tag=1)
+        return ctx.comm.recv(source=ctx.rank, tag=1)
+
+    assert Engine(2).run(program).returns == ["me", "me"]

@@ -1,0 +1,110 @@
+"""Cost model algebra: rates, transfer times, cache factor, payload sizes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simmpi import CacheModel, MachineModel
+from repro.simmpi.costmodel import payload_nbytes
+
+
+class TestMachineModel:
+    def test_known_kind_uses_table_rate(self):
+        m = MachineModel(rates={"op": 1e6}, cache=None)
+        assert m.compute_time("op", 1e6) == pytest.approx(1.0)
+
+    def test_unknown_kind_uses_default_rate(self):
+        m = MachineModel(default_rate=2e6, cache=None)
+        assert m.compute_time("mystery", 2e6) == pytest.approx(1.0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel().compute_time("op", -1)
+
+    def test_transfer_time_is_alpha_plus_beta(self):
+        m = MachineModel(alpha=1e-6, beta=1e-9)
+        assert m.transfer_time(1000) == pytest.approx(1e-6 + 1e-6)
+        assert m.transfer_time(0) == pytest.approx(1e-6)
+
+    def test_replace_returns_modified_copy(self):
+        m = MachineModel(alpha=1.0)
+        m2 = m.replace(alpha=2.0)
+        assert m.alpha == 1.0 and m2.alpha == 2.0
+        assert m2.beta == m.beta
+
+
+class TestCacheModel:
+    def test_fitting_working_set_no_penalty(self):
+        c = CacheModel(cache_bytes=1000, max_penalty=2.0)
+        assert c.factor(500) == 1.0
+        assert c.factor(1000) == 1.0
+        assert c.factor(None) == 1.0
+
+    def test_saturated_working_set_max_penalty(self):
+        c = CacheModel(cache_bytes=1000, max_penalty=2.0, saturate_ratio=4.0)
+        assert c.factor(4000) == pytest.approx(2.0)
+        assert c.factor(1_000_000) == pytest.approx(2.0)
+
+    def test_factor_monotone_in_working_set(self):
+        c = CacheModel(cache_bytes=1000, max_penalty=3.0, saturate_ratio=16.0)
+        sizes = [1000, 2000, 4000, 8000, 16000, 32000]
+        factors = [c.factor(s) for s in sizes]
+        assert factors == sorted(factors)
+        assert 1.0 <= min(factors) and max(factors) <= 3.0
+
+    def test_compute_time_applies_cache_factor(self):
+        m = MachineModel(
+            rates={"op": 1e6},
+            cache=CacheModel(cache_bytes=10, max_penalty=2.0, saturate_ratio=2.0),
+        )
+        fits = m.compute_time("op", 1e6, working_set_bytes=5)
+        spills = m.compute_time("op", 1e6, working_set_bytes=1000)
+        assert spills == pytest.approx(2 * fits)
+
+
+class TestPayloadNbytes:
+    def test_numpy_exact_buffer_plus_envelope(self):
+        a = np.zeros(100, dtype=np.int64)
+        assert payload_nbytes(a) == 800 + 96
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abcd") == 4 + 33
+
+    def test_scalars_and_none(self):
+        assert payload_nbytes(None) == 8
+        assert payload_nbytes(3) == 32
+        assert payload_nbytes(3.5) == 32
+        assert payload_nbytes(True) == 32
+
+    def test_string_utf8(self):
+        assert payload_nbytes("hi") == 2 + 49
+
+    def test_containers_recurse(self):
+        inner = np.zeros(10, dtype=np.int8)
+        t = (inner, 5)
+        assert payload_nbytes(t) == 56 + (10 + 96) + 32
+
+    def test_dict_recurse(self):
+        d = {"k": 1}
+        assert payload_nbytes(d) == 64 + (1 + 49) + 32
+
+    def test_object_with_nbytes_estimate(self):
+        class Obj:
+            def nbytes_estimate(self):
+                return 12345
+
+        assert payload_nbytes(Obj()) == 12345
+
+    def test_plain_object_uses_dict(self):
+        class Obj:
+            def __init__(self):
+                self.a = 1
+                self.b = 2
+
+        assert payload_nbytes(Obj()) == 64 + 32 + 32
+
+    def test_bigger_arrays_cost_more(self):
+        small = payload_nbytes(np.zeros(10))
+        big = payload_nbytes(np.zeros(10000))
+        assert big > small

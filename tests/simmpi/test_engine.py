@@ -1,0 +1,218 @@
+"""Engine scheduling, determinism, and failure semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    DeadlockError,
+    Engine,
+    MachineModel,
+    RankFailedError,
+    SUM,
+)
+
+
+def test_single_rank_runs_and_returns():
+    res = Engine(1).run(lambda ctx: ctx.rank * 10 + 7)
+    assert res.returns == [7]
+    assert res.num_ranks == 1
+
+
+def test_all_ranks_run_and_return_in_order():
+    res = Engine(8).run(lambda ctx: ctx.rank)
+    assert res.returns == list(range(8))
+
+
+def test_args_and_kwargs_are_forwarded():
+    def program(ctx, a, b, scale=1):
+        return (a + b * ctx.rank) * scale
+
+    res = Engine(3).run(program, 1, 2, scale=10)
+    assert res.returns == [10, 30, 50]
+
+
+def test_send_recv_roundtrip():
+    def program(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send({"x": 1}, dest=1, tag=4)
+            return None
+        return ctx.comm.recv(source=0, tag=4)
+
+    res = Engine(2).run(program)
+    assert res.returns[1] == {"x": 1}
+
+
+def test_messages_preserve_numpy_payloads():
+    def program(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(np.arange(100, dtype=np.int64), dest=1)
+            return None
+        arr = ctx.comm.recv(source=0)
+        return int(arr.sum())
+
+    res = Engine(2).run(program)
+    assert res.returns[1] == sum(range(100))
+
+
+def test_deterministic_clocks_and_counters():
+    def program(ctx):
+        ctx.charge("op", 100 * (ctx.rank + 1))
+        return ctx.comm.allreduce(ctx.rank, SUM)
+
+    r1 = Engine(6).run(program)
+    r2 = Engine(6).run(program)
+    assert [c.now for c in r1.clocks] == [c.now for c in r2.clocks]
+    assert r1.counters == r2.counters
+    assert r1.returns == r2.returns
+
+
+def test_deadlock_detected_with_blocked_rank_report():
+    def program(ctx):
+        ctx.comm.recv(source=(ctx.rank + 1) % ctx.num_ranks, tag=9)
+
+    with pytest.raises(DeadlockError) as ei:
+        Engine(3).run(program)
+    assert set(ei.value.blocked) == {0, 1, 2}
+    assert "tag=9" in ei.value.blocked[0]
+
+
+def test_partial_deadlock_detected():
+    # Rank 0 finishes; ranks 1 and 2 wait on each other with wrong tags.
+    def program(ctx):
+        if ctx.rank == 0:
+            return "done"
+        if ctx.rank == 1:
+            ctx.comm.send("x", dest=2, tag=1)
+            return ctx.comm.recv(source=2, tag=2)
+        return ctx.comm.recv(source=1, tag=3)  # tag mismatch: never matches
+
+    with pytest.raises(DeadlockError) as ei:
+        Engine(3).run(program)
+    assert 0 not in ei.value.blocked
+    assert set(ei.value.blocked) == {1, 2}
+
+
+def test_rank_exception_propagates_with_rank_id():
+    def program(ctx):
+        if ctx.rank == 3:
+            raise KeyError("broken")
+        ctx.comm.barrier()
+
+    with pytest.raises(RankFailedError) as ei:
+        Engine(5).run(program)
+    assert ei.value.rank == 3
+    assert isinstance(ei.value.original, KeyError)
+
+
+def test_engine_reusable_after_failure():
+    eng = Engine(4)
+
+    def bad(ctx):
+        raise ValueError("nope")
+
+    with pytest.raises(RankFailedError):
+        eng.run(bad)
+    res = eng.run(lambda ctx: ctx.rank)
+    assert res.returns == [0, 1, 2, 3]
+
+
+def test_num_ranks_must_be_positive():
+    with pytest.raises(ValueError):
+        Engine(0)
+
+
+def test_charge_advances_clock_by_model_rate():
+    model = MachineModel(cache=None)
+
+    def program(ctx):
+        ctx.charge("op", 2_000_000)
+        return ctx.clock.now
+
+    res = Engine(1, model=model).run(program)
+    assert res.returns[0] == pytest.approx(2_000_000 / model.rate("op"))
+
+
+def test_charge_zero_is_free():
+    def program(ctx):
+        ctx.charge("op", 0)
+        return ctx.clock.now
+
+    assert Engine(1).run(program).returns[0] == 0.0
+
+
+def test_recv_wait_counts_as_comm_time():
+    model = MachineModel(cache=None)
+
+    def program(ctx):
+        with ctx.phase("ph"):
+            if ctx.rank == 0:
+                ctx.charge("op", 10_000_000)  # rank 1 must wait for this
+                ctx.comm.send(b"x" * 1000, dest=1)
+            else:
+                ctx.comm.recv(source=0)
+        return ctx.clock.phases["ph"]
+
+    res = Engine(2, model=model).run(program)
+    ph1 = res.returns[1]
+    assert ph1.comm > 0.04  # waited ~10M ops worth
+    assert res.clocks[1].now >= res.clocks[0].now
+
+
+def test_makespan_is_max_clock():
+    def program(ctx):
+        ctx.charge("op", 1000 * (ctx.rank + 1))
+
+    res = Engine(4).run(program)
+    assert res.makespan == max(c.now for c in res.clocks)
+    assert res.makespan == res.clocks[3].now
+
+
+def test_counter_total_sums_ranks():
+    def program(ctx):
+        ctx.charge("op", ctx.rank)
+
+    res = Engine(5).run(program)
+    assert res.counter_total("op") == sum(range(5))
+    assert res.counter_total("missing") == 0
+
+
+def test_phase_time_requires_recorded_phase():
+    res = Engine(2).run(lambda ctx: None)
+    with pytest.raises(KeyError):
+        res.phase_time("nope")
+
+
+def test_probe_nonblocking():
+    def program(ctx):
+        if ctx.rank == 0:
+            assert not ctx.comm.probe(source=1, tag=5)
+            ctx.comm.send("go", dest=1, tag=3)
+            return ctx.comm.recv(source=1, tag=5)
+        ctx.comm.recv(source=0, tag=3)
+        ctx.comm.send("back", dest=0, tag=5)
+        return None
+
+    res = Engine(2).run(program)
+    assert res.returns[0] == "back"
+
+
+def test_many_ranks_complete_quickly():
+    res = Engine(169).run(lambda ctx: ctx.comm.allreduce(1, SUM))
+    assert res.returns == [169] * 169
+
+
+def test_trace_records_events():
+    def program(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send("m", dest=1, tag=2)
+        elif ctx.rank == 1:
+            ctx.comm.recv(source=0, tag=2)
+        ctx.charge("op", 5)
+
+    res = Engine(2, trace=True).run(program)
+    kinds = {e.kind for e in res.tracer.events}
+    assert {"send", "recv", "compute"} <= kinds
+    sends = res.tracer.of_kind("send")
+    assert sends and sends[0].detail["dst"] == 1

@@ -1,0 +1,47 @@
+"""Reduction operator algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simmpi import BAND, BOR, MAX, MIN, PROD, SUM
+from repro.simmpi.reduceops import ReduceOp
+
+
+def test_sum_prod_scalars():
+    assert SUM(2, 3) == 5
+    assert PROD(2, 3) == 6
+
+
+def test_max_min_scalars():
+    assert MAX(2, 3) == 3
+    assert MIN(2, 3) == 2
+
+
+def test_max_min_numpy_elementwise():
+    a = np.array([1, 5])
+    b = np.array([4, 2])
+    assert np.array_equal(MAX(a, b), [4, 5])
+    assert np.array_equal(MIN(a, b), [1, 2])
+
+
+def test_bitwise():
+    assert BAND(0b110, 0b011) == 0b010
+    assert BOR(0b110, 0b011) == 0b111
+
+
+def test_reduce_list():
+    assert SUM.reduce([1, 2, 3, 4]) == 10
+    assert MAX.reduce([3]) == 3
+
+
+def test_reduce_empty_raises():
+    with pytest.raises(ValueError):
+        SUM.reduce([])
+
+
+def test_custom_op():
+    concat = ReduceOp("concat", lambda a, b: a + b)
+    assert concat.reduce(["a", "b", "c"]) == "abc"
+    assert concat.name == "concat"

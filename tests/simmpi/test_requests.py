@@ -1,0 +1,92 @@
+"""Non-blocking communication requests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simmpi import Engine
+from repro.simmpi.requests import wait_all
+
+
+def test_isend_completes_immediately():
+    def program(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.isend("x", dest=1)
+            done, payload = req.test()
+            assert done and payload is None
+            assert req.wait() is None
+            return "sent"
+        return ctx.comm.recv(source=0)
+
+    res = Engine(2).run(program)
+    assert res.returns == ["sent", "x"]
+
+
+def test_irecv_wait():
+    def program(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.irecv(source=1, tag=3)
+            return req.wait()
+        ctx.comm.send({"v": 42}, dest=0, tag=3)
+        return None
+
+    res = Engine(2).run(program)
+    assert res.returns[0] == {"v": 42}
+
+
+def test_irecv_test_before_and_after_arrival():
+    def program(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.irecv(source=1, tag=1)
+            first = req.test()[0]  # nothing sent yet
+            ctx.comm.send("go", dest=1, tag=2)
+            ctx.comm.recv(source=1, tag=3)  # rank 1 has now sent tag 1
+            done, payload = req.test()
+            return (first, done, payload)
+        ctx.comm.recv(source=0, tag=2)
+        ctx.comm.send("answer", dest=0, tag=1)
+        ctx.comm.send("sync", dest=0, tag=3)
+        return None
+
+    res = Engine(2).run(program)
+    assert res.returns[0] == (False, True, "answer")
+
+
+def test_wait_repeated_is_idempotent():
+    def program(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.irecv(source=1)
+            a = req.wait()
+            b = req.wait()
+            return a is b
+        ctx.comm.send([1, 2], dest=0)
+        return None
+
+    assert Engine(2).run(program).returns[0] is True
+
+
+def test_multiple_outstanding_receives_complete_in_post_order():
+    def program(ctx):
+        if ctx.rank == 0:
+            reqs = [ctx.comm.irecv(source=1, tag=7) for _ in range(3)]
+            return wait_all(reqs)
+        for i in range(3):
+            ctx.comm.send(i, dest=0, tag=7)
+        return None
+
+    res = Engine(2).run(program)
+    assert res.returns[0] == [0, 1, 2]
+
+
+def test_overlap_pattern_ring():
+    """Post the receive first, then send — the classic overlap idiom."""
+
+    def program(ctx):
+        left = (ctx.rank - 1) % ctx.num_ranks
+        right = (ctx.rank + 1) % ctx.num_ranks
+        req = ctx.comm.irecv(source=left, tag=5)
+        ctx.comm.isend(ctx.rank * 10, dest=right, tag=5)
+        return req.wait()
+
+    res = Engine(5).run(program)
+    assert res.returns == [((r - 1) % 5) * 10 for r in range(5)]

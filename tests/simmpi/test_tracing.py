@@ -1,0 +1,57 @@
+"""Tracer behaviour: enablement, filtering, byte totals."""
+
+from __future__ import annotations
+
+from repro.simmpi import Engine, Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer(enabled=False)
+    t.emit(1.0, 0, "send", nbytes=10)
+    assert t.events == []
+
+
+def test_emit_and_filter_by_kind():
+    t = Tracer()
+    t.emit(2.0, 1, "send", nbytes=5)
+    t.emit(1.0, 0, "recv", nbytes=5)
+    t.emit(3.0, 0, "compute", op="x")
+    sends = t.of_kind("send")
+    assert len(sends) == 1 and sends[0].rank == 1
+    both = t.of_kind("send", "recv")
+    assert [e.kind for e in both] == ["recv", "send"]  # time ordered
+
+
+def test_for_rank():
+    t = Tracer()
+    t.emit(1.0, 0, "send")
+    t.emit(2.0, 1, "send")
+    assert len(t.for_rank(0)) == 1
+
+
+def test_total_bytes():
+    t = Tracer()
+    t.emit(1.0, 0, "send", nbytes=10)
+    t.emit(1.0, 0, "send", nbytes=32)
+    t.emit(1.0, 0, "recv", nbytes=999)
+    assert t.total_bytes() == 42
+    assert t.total_bytes(("recv",)) == 999
+
+
+def test_clear():
+    t = Tracer()
+    t.emit(1.0, 0, "send")
+    t.clear()
+    assert t.events == []
+
+
+def test_engine_trace_has_phase_markers():
+    def program(ctx):
+        with ctx.phase("ph"):
+            ctx.charge("op", 1)
+
+    res = Engine(2, trace=True).run(program)
+    names = [
+        e.detail["name"] for e in res.tracer.of_kind("phase_begin", "phase_end")
+    ]
+    assert names.count("ph") == 4  # begin+end on each of 2 ranks

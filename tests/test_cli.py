@@ -1,0 +1,77 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_count_tc2d_verified(capsys):
+    assert main(["count", "g500-s12", "-p", "4", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "count=" in out
+    assert "OK" in out
+
+
+@pytest.mark.parametrize("algo", ["summa", "aop", "surrogate", "psp", "havoq"])
+def test_count_other_algorithms(capsys, algo):
+    assert main(["count", "g500-s12", "-p", "4", "-a", algo, "--verify"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_count_with_toggles(capsys):
+    assert (
+        main(
+            [
+                "count",
+                "g500-s12",
+                "-p",
+                "4",
+                "--no-early-stop",
+                "--no-modified-hashing",
+                "--enumeration",
+                "ijk",
+                "--verify",
+            ]
+        )
+        == 0
+    )
+    assert "OK" in capsys.readouterr().out
+
+
+def test_count_from_edge_list_file(tmp_path, capsys, tiny_graph):
+    from repro.graph.io import write_edge_list
+
+    path = tmp_path / "g.txt"
+    write_edge_list(tiny_graph, path)
+    assert main(["count", str(path), "-p", "1", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "count=3" in out
+
+
+def test_count_unknown_dataset_exits():
+    with pytest.raises(SystemExit):
+        main(["count", "no-such-thing"])
+
+
+def test_census(capsys):
+    assert main(["census", "g500-s12", "-p", "4", "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "triangles" in out and "transitivity" in out
+
+
+def test_datasets_listing(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "twitter-like" in out and "g500-s12" in out
+
+
+def test_bench_table1(capsys):
+    assert main(["bench", "table1"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_bench_unknown_exits():
+    with pytest.raises(SystemExit):
+        main(["bench", "table99"])

@@ -1,0 +1,66 @@
+"""Smoke-run the fast example scripts end to end.
+
+The long-running sweep examples are exercised indirectly through the
+bench harness; here we run the quick ones exactly as a user would.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "OK: counts agree" in out
+
+
+def test_trace_gantt(capsys):
+    run_example("trace_gantt.py")
+    out = capsys.readouterr().out
+    assert "rank 8 |" in out
+    assert "#" in out and "." in out
+
+
+def test_compare_baselines_small(capsys):
+    run_example("compare_baselines.py", ["g500-s12", "4"])
+    out = capsys.readouterr().out
+    assert "fastest overall" in out
+    assert "WRONG" not in out
+
+
+@pytest.mark.slow
+def test_ktruss(capsys):
+    run_example("ktruss.py")
+    out = capsys.readouterr().out
+    assert "maximum non-empty truss" in out
+
+
+@pytest.mark.slow
+def test_clustering(capsys):
+    run_example("clustering_coefficients.py")
+    out = capsys.readouterr().out
+    assert "transitivity" in out
+
+
+@pytest.mark.slow
+def test_approximate_counting(capsys):
+    run_example("approximate_counting.py")
+    out = capsys.readouterr().out
+    assert "exact count" in out
+    assert "keep prob" in out

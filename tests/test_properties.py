@@ -1,0 +1,125 @@
+"""Property-based end-to-end invariants (hypothesis).
+
+The central properties: every algorithm in the repository computes the
+same triangle count as the linear-algebra oracle on arbitrary graphs, the
+count is invariant under vertex relabeling and grid geometry, and no
+Section 5.2 optimization ever changes a result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    count_triangles_aop,
+    count_triangles_havoq,
+    count_triangles_map_based,
+    count_triangles_psp,
+    count_triangles_surrogate,
+)
+from repro.core import TC2DConfig, count_triangles_2d, count_triangles_summa
+from repro.graph import Graph, triangle_count_linalg
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_n=40, max_m=120):
+    n = draw(st.integers(3, max_n))
+    m = draw(st.integers(0, max_m))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    arr = (
+        np.array(edges, dtype=np.int64)
+        if edges
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    return Graph.from_edges(n, arr)
+
+
+@settings(**SETTINGS)
+@given(g=graphs(), p=st.sampled_from([1, 4, 9, 16]))
+def test_tc2d_matches_oracle(g, p):
+    assert count_triangles_2d(g, p).count == triangle_count_linalg(g)
+
+
+@settings(**SETTINGS)
+@given(
+    g=graphs(),
+    flags=st.tuples(st.booleans(), st.booleans(), st.booleans(), st.booleans()),
+    enumeration=st.sampled_from(["jik", "ijk"]),
+)
+def test_no_toggle_changes_the_count(g, flags, enumeration):
+    ds, mh, es, blob = flags
+    cfg = TC2DConfig(
+        enumeration=enumeration,
+        doubly_sparse=ds,
+        modified_hashing=mh,
+        early_stop=es,
+        blob_serialization=blob,
+    )
+    assert count_triangles_2d(g, 9, cfg=cfg).count == triangle_count_linalg(g)
+
+
+@settings(**SETTINGS)
+@given(g=graphs(), seed=st.integers(0, 2**16))
+def test_relabel_invariance(g, seed):
+    perm = np.random.default_rng(seed).permutation(g.n)
+    assert triangle_count_linalg(g.relabel(perm)) == triangle_count_linalg(g)
+
+
+@settings(**SETTINGS)
+@given(g=graphs(), pr=st.integers(1, 4), pc=st.integers(1, 4))
+def test_summa_any_rectangle(g, pr, pc):
+    assert count_triangles_summa(g, pr, pc).count == triangle_count_linalg(g)
+
+
+@settings(**SETTINGS)
+@given(g=graphs(max_n=25, max_m=70), p=st.sampled_from([1, 2, 3, 5]))
+def test_1d_baselines_match_oracle(g, p):
+    want = triangle_count_linalg(g)
+    assert count_triangles_aop(g, p).count == want
+    assert count_triangles_surrogate(g, p).count == want
+    assert count_triangles_psp(g, p).count == want
+
+
+@settings(**SETTINGS)
+@given(g=graphs(max_n=25, max_m=70), p=st.sampled_from([1, 3, 4]))
+def test_havoq_matches_oracle(g, p):
+    assert count_triangles_havoq(g, p).count == triangle_count_linalg(g)
+
+
+@settings(**SETTINGS)
+@given(g=graphs(max_n=30, max_m=90))
+def test_serial_map_based_matches_oracle(g):
+    assert count_triangles_map_based(g) == triangle_count_linalg(g)
+
+
+@settings(**SETTINGS)
+@given(g=graphs())
+def test_ul_split_partitions_edges(g):
+    U, L = g.upper_csr(), g.lower_csr()
+    assert U.nnz == L.nnz == g.num_edges
+    assert U.transpose() == L
+
+
+@settings(**SETTINGS)
+@given(g=graphs(), p=st.sampled_from([4, 9]))
+def test_task_totals_bounded(g, p):
+    import math
+
+    res = count_triangles_2d(g, p)
+    q = math.isqrt(p)
+    assert res.tasks_total <= g.num_edges * q
+    assert res.count >= 0
