@@ -2,10 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-quick examples artifacts clean
+.PHONY: install test test-fast lint bench bench-quick examples artifacts clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+lint:           ## ruff (configured in pyproject.toml); no-op if not installed
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff is not installed (python -m pip install ruff); skipping lint"; \
+	fi
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -6,13 +6,22 @@ ASCII Gantt chart of each rank's counting phase: compute spans (#),
 communication/waiting spans (.), one row per rank.  The staircase of
 block exchanges between the sqrt(p) compute rounds is clearly visible.
 
-Run:  python examples/trace_gantt.py
+The same trace is also exported as Perfetto-loadable Chrome trace-event
+JSON, the interactive counterpart of the ASCII chart (open it at
+https://ui.perfetto.dev).
+
+Run:  python examples/trace_gantt.py [trace-output.json]
 """
 
 from __future__ import annotations
 
+import sys
+import tempfile
+from pathlib import Path
+
 from repro.core import count_triangles_2d
 from repro.graph import rmat_graph
+from repro.instrument import write_chrome_trace
 
 WIDTH = 100
 
@@ -65,6 +74,14 @@ def main() -> None:
         "rounds;\nbetween bands the U blocks shift left and the L blocks "
         "shift up."
     )
+
+    out = (
+        Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else Path(tempfile.gettempdir()) / "trace_gantt.trace.json"
+    )
+    write_chrome_trace(out, run)
+    print(f"\nwrote Perfetto trace to {out} (open at https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

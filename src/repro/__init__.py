@@ -19,7 +19,8 @@ Packages:
 * :mod:`repro.hashing` — the map-based intersection hash table;
 * :mod:`repro.baselines` — serial references and the 1D/wedge competitors;
 * :mod:`repro.bench` — harness regenerating the paper's tables/figures;
-* :mod:`repro.instrument` — counters and report formatting.
+* :mod:`repro.instrument` — observability: per-phase metrics, comm
+  matrix, wait-for analysis, Perfetto trace export, counters, reports.
 """
 
 from repro.core import (

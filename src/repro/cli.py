@@ -10,9 +10,16 @@ Commands
 ``census``
     Triangle enumeration summary: count, clustering, transitivity, top
     vertices by triangle participation.
+``profile``
+    Run a traced counting pass and print the observability report:
+    per-phase breakdown with imbalance factor and comm fraction, hottest
+    communication pairs, wait-for edges, critical path.
 ``bench``
     Regenerate one of the paper's tables/figures
     (table1..table6, fig1, fig2, fig3, ablations).
+
+``count`` and ``profile`` also accept ``--trace FILE`` to export a
+Perfetto-loadable Chrome trace-event JSON of the run.
 """
 
 from __future__ import annotations
@@ -48,6 +55,18 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _dataset_spec(args: argparse.Namespace) -> str:
+    """Resolve the positional dataset / ``--graph`` alias (exactly one)."""
+    positional = getattr(args, "dataset", None)
+    flagged = getattr(args, "graph", None)
+    if positional and flagged:
+        raise SystemExit("give the dataset either positionally or via --graph")
+    spec = positional or flagged
+    if not spec:
+        raise SystemExit("a dataset is required (positionally or via --graph)")
+    return spec
+
+
 def _cmd_count(args: argparse.Namespace) -> int:
     from repro.baselines import (
         count_triangles_aop,
@@ -59,8 +78,15 @@ def _cmd_count(args: argparse.Namespace) -> int:
     from repro.core import TC2DConfig, count_triangles_2d, count_triangles_summa
     from repro.graph.stats import degree_summary, triangle_count_linalg
 
-    g = _load_graph(args.dataset, args.seed)
-    print(f"{args.dataset}: {degree_summary(g)}")
+    spec = _dataset_spec(args)
+    trace_on = bool(args.trace or args.profile)
+    if trace_on and args.algorithm not in ("tc2d", "summa"):
+        raise SystemExit(
+            "--trace/--profile need the simulated grid algorithms "
+            "(-a tc2d or -a summa)"
+        )
+    g = _load_graph(spec, args.seed)
+    print(f"{spec}: {degree_summary(g)}")
     model = paper_model()
     cfg = TC2DConfig(
         enumeration=args.enumeration,
@@ -70,12 +96,17 @@ def _cmd_count(args: argparse.Namespace) -> int:
         blob_serialization=not args.no_blob,
     )
     if args.algorithm == "tc2d":
-        res = count_triangles_2d(g, args.ranks, cfg=cfg, model=model)
+        res = count_triangles_2d(
+            g, args.ranks, cfg=cfg, model=model, trace=trace_on, dataset=spec
+        )
     elif args.algorithm == "summa":
         pr = max(1, int(args.ranks**0.5))
         while args.ranks % pr:
             pr -= 1
-        res = count_triangles_summa(g, pr, args.ranks // pr, cfg=cfg, model=model)
+        res = count_triangles_summa(
+            g, pr, args.ranks // pr, cfg=cfg, model=model, trace=trace_on,
+            dataset=spec,
+        )
     elif args.algorithm == "aop":
         res = count_triangles_aop(g, args.ranks, model=model)
     elif args.algorithm == "surrogate":
@@ -88,12 +119,64 @@ def _cmd_count(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown algorithm {args.algorithm}")
 
     print(res.summary())
+    _emit_observability(args, res)
     if args.verify:
         want = triangle_count_linalg(g)
         status = "OK" if want == res.count else f"MISMATCH (oracle: {want:,})"
         print(f"verification vs linear-algebra oracle: {status}")
         if want != res.count:
             return 1
+    return 0
+
+
+def _emit_observability(args: argparse.Namespace, res) -> None:
+    """Write the Perfetto trace and/or print the profile report."""
+    from repro.instrument import profile_report, write_chrome_trace
+
+    run = res.extras.get("run")
+    if run is None:
+        return
+    if getattr(args, "trace", None):
+        try:
+            write_chrome_trace(args.trace, run)
+        except OSError as exc:
+            raise SystemExit(f"cannot write trace to {args.trace}: {exc}")
+        print(
+            f"wrote Perfetto trace to {args.trace} "
+            "(open at https://ui.perfetto.dev)"
+        )
+    if getattr(args, "profile", False):
+        print()
+        print(
+            profile_report(
+                run,
+                top_waits=getattr(args, "top_waits", 10),
+                matrix=getattr(args, "matrix", False),
+            )
+        )
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.bench.calibration import paper_model
+    from repro.core import count_triangles_2d, count_triangles_summa
+
+    spec = _dataset_spec(args)
+    g = _load_graph(spec, args.seed)
+    if args.algorithm == "tc2d":
+        res = count_triangles_2d(
+            g, args.ranks, model=paper_model(), trace=True, dataset=spec
+        )
+    else:
+        pr = max(1, int(args.ranks**0.5))
+        while args.ranks % pr:
+            pr -= 1
+        res = count_triangles_summa(
+            g, pr, args.ranks // pr, model=paper_model(), trace=True,
+            dataset=spec,
+        )
+    print(res.summary())
+    args.profile = True
+    _emit_observability(args, res)
     return 0
 
 
@@ -158,7 +241,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     c = sub.add_parser("count", help="count triangles of a dataset/file")
-    c.add_argument("dataset", help="registry name or edge-list file path")
+    c.add_argument(
+        "dataset", nargs="?", help="registry name or edge-list file path"
+    )
+    c.add_argument(
+        "--graph", help="dataset name/path (alternative to the positional)"
+    )
     c.add_argument("--ranks", "-p", type=int, default=16)
     c.add_argument(
         "--algorithm",
@@ -175,7 +263,47 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument(
         "--verify", action="store_true", help="check against the serial oracle"
     )
+    c.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="export a Perfetto/Chrome trace-event JSON of the run",
+    )
+    c.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-phase/imbalance/comm observability report",
+    )
     c.set_defaults(fn=_cmd_count)
+
+    pr = sub.add_parser(
+        "profile", help="traced run + full observability report"
+    )
+    pr.add_argument(
+        "dataset", nargs="?", help="registry name or edge-list file path"
+    )
+    pr.add_argument(
+        "--graph", help="dataset name/path (alternative to the positional)"
+    )
+    pr.add_argument("--ranks", "-p", type=int, default=16)
+    pr.add_argument(
+        "--algorithm", "-a", choices=["tc2d", "summa"], default="tc2d"
+    )
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="also export a Perfetto/Chrome trace-event JSON",
+    )
+    pr.add_argument(
+        "--top-waits", type=int, default=10, dest="top_waits",
+        help="rows in the wait-for table",
+    )
+    pr.add_argument(
+        "--matrix",
+        action="store_true",
+        help="include the dense rank-to-rank message matrix",
+    )
+    pr.set_defaults(fn=_cmd_profile)
 
     s = sub.add_parser("census", help="triangle census / clustering summary")
     s.add_argument("dataset")

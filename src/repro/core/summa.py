@@ -182,19 +182,25 @@ def count_triangles_summa(
     cfg: TC2DConfig | None = None,
     model: MachineModel | None = None,
     dataset: str = "",
+    trace: bool = False,
+    keep_run: bool = False,
 ) -> TriangleCountResult:
     """Count triangles on a rectangular ``pr x pc`` grid with SUMMA-style
     owner broadcasts (the paper's proposed extension).
 
     Only the ``jik`` enumeration is supported (the task matrix is the L
     pattern); all Section 5.2 kernel optimizations apply unchanged.
+    ``trace`` records a full engine event trace; with ``trace`` or
+    ``keep_run`` the raw :class:`RunResult` lands in
+    ``result.extras["run"]`` (same contract as
+    :func:`~repro.core.tc2d.count_triangles_2d`).
     """
     cfg = cfg if cfg is not None else TC2DConfig()
     if cfg.enumeration != "jik":
         raise ValueError("the SUMMA variant implements the jik enumeration only")
     p = pr * pc
     chunks = partition_1d(graph, p)
-    engine = Engine(p, model=model)
+    engine = Engine(p, model=model, trace=trace)
     run = engine.run(summa_rank_program, chunks, pr, pc, cfg)
     rets = run.returns
     count = rets[0]["total"]
@@ -218,4 +224,6 @@ def count_triangles_summa(
         for k, v in r["counters_tct"].items():
             result.counters_tct[k] = result.counters_tct.get(k, 0.0) + v
     result.extras["makespan"] = run.makespan
+    if keep_run or trace:
+        result.extras["run"] = run
     return result

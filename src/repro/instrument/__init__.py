@@ -1,6 +1,59 @@
-"""Instrumentation helpers: counter aggregation and report formatting."""
+"""Observability layer: metrics, comm matrix, wait analysis, exporters.
 
-from repro.instrument.counters import merge_counters, counters_diff
+The subsystem has four pieces, all driven by the records a
+:class:`~repro.simmpi.engine.RunResult` carries:
+
+* :mod:`repro.instrument.metrics` — per-phase min/max/mean timings,
+  load-imbalance factors (Table 3) and communication fractions (Figure 3);
+* :mod:`repro.instrument.commmatrix` — rank-to-rank message/byte matrix;
+* :mod:`repro.instrument.waits` — wait-for edges and critical-path walk;
+* :mod:`repro.instrument.chrometrace` — Perfetto/Chrome trace-event JSON
+  export of the span trace.
+
+Plus the report/counter helpers that predate the layer
+(:func:`format_table`, :func:`ascii_chart`, :func:`merge_counters`,
+:func:`counters_diff`) and :func:`profile_report`, which stitches every
+view into the text report the CLI prints.
+
+See ``docs/observability.md`` for a walkthrough.
+"""
+
+from repro.instrument.chrometrace import (
+    chrome_trace,
+    dumps_chrome_trace,
+    write_chrome_trace,
+)
+from repro.instrument.commmatrix import CommMatrix
+from repro.instrument.counters import counters_diff, merge_counters
+from repro.instrument.metrics import PhaseMetric, RunMetrics, imbalance_factor
+from repro.instrument.profiling import profile_report
 from repro.instrument.report import ascii_chart, format_table
+from repro.instrument.waits import (
+    CriticalHop,
+    WaitEdge,
+    critical_path,
+    critical_path_table,
+    wait_edges,
+    wait_table,
+)
 
-__all__ = ["ascii_chart", "counters_diff", "format_table", "merge_counters"]
+__all__ = [
+    "CommMatrix",
+    "CriticalHop",
+    "PhaseMetric",
+    "RunMetrics",
+    "WaitEdge",
+    "ascii_chart",
+    "chrome_trace",
+    "counters_diff",
+    "critical_path",
+    "critical_path_table",
+    "dumps_chrome_trace",
+    "format_table",
+    "imbalance_factor",
+    "merge_counters",
+    "profile_report",
+    "wait_edges",
+    "wait_table",
+    "write_chrome_trace",
+]

@@ -1,0 +1,167 @@
+"""Chrome trace-event (Perfetto-compatible) export of a traced run.
+
+The exporter maps the simulated run onto the Chrome trace-event JSON
+format (the ``traceEvents`` array format documented by the Trace Event
+Profiling Tool and consumed by https://ui.perfetto.dev): one process, one
+track (tid) per virtual rank, virtual seconds mapped to microseconds on
+the trace clock.
+
+* spans (phases, compute bursts, send overheads, receive waits) become
+  ``"X"`` complete events;
+* each delivered message becomes a flow arrow (``"s"``/``"f"`` flow
+  events bound to the send and matching receive), so Perfetto draws
+  Cannon's shift pattern as arrows between rank tracks;
+* collective summary events become ``"i"`` instant events.
+
+Export is fully deterministic: events are emitted in a fixed order and
+serialized with sorted keys, so two identical runs produce byte-identical
+files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simmpi.engine import RunResult
+
+#: Trace clock: virtual seconds -> microseconds.
+_US = 1e6
+_PID = 0
+
+
+def _span_args(detail: dict[str, Any]) -> dict[str, Any]:
+    return {k: v for k, v in detail.items() if k != "seq"}
+
+
+def chrome_trace(run: "RunResult") -> dict[str, Any]:
+    """Build the trace-event dictionary for a traced ``run``.
+
+    Raises ``ValueError`` if the run was executed without tracing (there
+    would be nothing to export).
+    """
+    tracer = run.tracer
+    if not tracer.enabled and not tracer.spans and not tracer.events:
+        raise ValueError(
+            "run has no trace; construct the engine with trace=True "
+            "(or pass trace=True to the algorithm driver)"
+        )
+    events: list[dict[str, Any]] = []
+
+    # Track naming/ordering metadata first.
+    events.append(
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": f"simmpi run ({run.num_ranks} ranks)"},
+        }
+    )
+    for r in range(run.num_ranks):
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": r,
+                "name": "thread_name",
+                "args": {"name": f"rank {r}"},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": r,
+                "name": "thread_sort_index",
+                "args": {"sort_index": r},
+            }
+        )
+
+    # Spans -> complete events.
+    for span in tracer.spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": _PID,
+                "tid": span.rank,
+                "ts": span.begin * _US,
+                "dur": span.duration * _US,
+                "name": span.name,
+                "cat": span.cat,
+                "args": _span_args(span.detail),
+            }
+        )
+
+    # Message flows: bind each send to its matching receive by seq.
+    recv_by_seq: dict[int, Any] = {}
+    for e in tracer.events:
+        if e.kind == "recv" and "seq" in e.detail:
+            recv_by_seq[int(e.detail["seq"])] = e
+    for e in tracer.events:
+        if e.kind == "send" and "seq" in e.detail:
+            seq = int(e.detail["seq"])
+            recv = recv_by_seq.get(seq)
+            if recv is None:
+                continue  # sent but never received (e.g. aborted run)
+            flow = {
+                "cat": "msg",
+                "name": f"{e.rank}->{recv.rank}",
+                "id": seq,
+                "pid": _PID,
+            }
+            events.append(
+                {**flow, "ph": "s", "tid": e.rank, "ts": e.t * _US}
+            )
+            events.append(
+                {
+                    **flow,
+                    "ph": "f",
+                    "bp": "e",
+                    "tid": recv.rank,
+                    "ts": recv.t * _US,
+                }
+            )
+        elif e.kind == "collective":
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": e.rank,
+                    "ts": e.t * _US,
+                    "name": str(e.detail.get("op", "collective")),
+                    "cat": "collective",
+                    "args": {"nbytes": e.detail.get("nbytes", 0)},
+                }
+            )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "ranks": run.num_ranks,
+            "makespan_us": run.makespan * _US,
+            "clock": "virtual",
+        },
+    }
+
+
+def dumps_chrome_trace(run: "RunResult") -> str:
+    """Serialize :func:`chrome_trace` deterministically (sorted keys,
+    fixed separators, trailing newline)."""
+    return (
+        json.dumps(chrome_trace(run), sort_keys=True, separators=(",", ":"))
+        + "\n"
+    )
+
+
+def write_chrome_trace(path, run: "RunResult") -> None:
+    """Write the Perfetto-loadable trace of ``run`` to ``path``.
+
+    Open the file at https://ui.perfetto.dev (or ``chrome://tracing``).
+    """
+    from pathlib import Path
+
+    Path(path).write_text(dumps_chrome_trace(run))

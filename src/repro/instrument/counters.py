@@ -15,10 +15,18 @@ def merge_counters(dicts: list[dict[str, float]]) -> dict[str, float]:
 def counters_diff(
     after: dict[str, float], before: dict[str, float]
 ) -> dict[str, float]:
-    """Per-key ``after - before``, dropping zero deltas."""
+    """Per-key ``after - before``, dropping zero deltas.
+
+    Keys present only in ``before`` (e.g. a counter that was reset between
+    snapshots) are reported as negative deltas rather than silently
+    dropped.
+    """
     out: dict[str, float] = {}
     for k, v in after.items():
         delta = v - before.get(k, 0.0)
         if delta:
             out[k] = delta
+    for k, v in before.items():
+        if k not in after and v:
+            out[k] = -v
     return out

@@ -1,0 +1,174 @@
+"""Run-level metrics registry: per-phase timing aggregates over all ranks.
+
+:class:`RunMetrics` condenses a :class:`~repro.simmpi.engine.RunResult`
+into the summary statistics the paper's evaluation revolves around:
+
+* per-phase busy-time min/max/mean over ranks and the **load-imbalance
+  factor** ``max / mean`` (Table 3's metric);
+* per-phase aggregate **communication fraction** (Figure 3's metric);
+* merged operation counters (Tables 4-6 read these).
+
+Everything here is computed from the per-rank clocks and counters that the
+engine records unconditionally, so metrics work on *any* run — no tracing
+required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.instrument.counters import merge_counters
+from repro.instrument.report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simmpi.engine import RunResult
+
+
+def imbalance_factor(values: Sequence[float]) -> float:
+    """Load-imbalance factor ``max / mean`` (1.0 = perfectly balanced).
+
+    Empty input or an all-zero load reports 1.0, matching Table 3's
+    convention for idle configurations.
+    """
+    vals = list(values)
+    if not vals:
+        return 1.0
+    mean = sum(vals) / len(vals)
+    return max(vals) / mean if mean > 0 else 1.0
+
+
+@dataclass(frozen=True)
+class PhaseMetric:
+    """Aggregated timing of one named phase across all ranks that ran it.
+
+    Attributes
+    ----------
+    name:
+        Phase label (nested phases appear as ``"outer/inner"``).
+    ranks:
+        Number of ranks that entered the phase.
+    t_min, t_mean, t_max:
+        Min/mean/max per-rank busy time (compute + comm) in the phase.
+    imbalance:
+        ``t_max / t_mean`` — Table 3's load-imbalance factor.
+    compute, comm:
+        Aggregate seconds over all ranks, split by accounting class.
+    comm_fraction:
+        ``comm / (comm + compute)`` — Figure 3's communication share.
+    elapsed:
+        Reported wall span: latest end minus earliest start.
+    """
+
+    name: str
+    ranks: int
+    t_min: float
+    t_mean: float
+    t_max: float
+    imbalance: float
+    compute: float
+    comm: float
+    comm_fraction: float
+    elapsed: float
+
+
+@dataclass
+class RunMetrics:
+    """Summary metrics of one engine run.
+
+    Build with :meth:`from_run`; render with :meth:`phase_table` and
+    :meth:`counter_table`.
+    """
+
+    num_ranks: int
+    makespan: float
+    phases: list[PhaseMetric] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    rank_busy: list[float] = field(default_factory=list)
+
+    @classmethod
+    def from_run(cls, run: "RunResult") -> "RunMetrics":
+        """Aggregate the per-rank clocks and counters of ``run``."""
+        phases: list[PhaseMetric] = []
+        for name in run.phase_names():
+            stats = run.phase_stats(name)
+            busy = [s.compute + s.comm for s in stats]
+            compute = sum(s.compute for s in stats)
+            comm = sum(s.comm for s in stats)
+            total = compute + comm
+            phases.append(
+                PhaseMetric(
+                    name=name,
+                    ranks=len(stats),
+                    t_min=min(busy),
+                    t_mean=sum(busy) / len(busy),
+                    t_max=max(busy),
+                    imbalance=imbalance_factor(busy),
+                    compute=compute,
+                    comm=comm,
+                    comm_fraction=comm / total if total > 0 else 0.0,
+                    elapsed=run.phase_time(name),
+                )
+            )
+        return cls(
+            num_ranks=run.num_ranks,
+            makespan=run.makespan,
+            phases=phases,
+            counters=merge_counters(run.counters),
+            rank_busy=[c.now for c in run.clocks],
+        )
+
+    def phase(self, name: str) -> PhaseMetric:
+        """The metric record of phase ``name``."""
+        for ph in self.phases:
+            if ph.name == name:
+                return ph
+        raise KeyError(f"no phase named {name!r}")
+
+    @property
+    def run_imbalance(self) -> float:
+        """Imbalance factor of the per-rank total virtual times."""
+        return imbalance_factor(self.rank_busy)
+
+    # -- rendering ----------------------------------------------------------
+
+    def phase_table(self, unit: float = 1e3, unit_label: str = "ms") -> str:
+        """Phase breakdown as an aligned text table (times scaled by
+        ``unit``, milliseconds by default)."""
+        rows = [
+            (
+                ph.name,
+                ph.ranks,
+                ph.t_min * unit,
+                ph.t_mean * unit,
+                ph.t_max * unit,
+                ph.imbalance,
+                100.0 * ph.comm_fraction,
+            )
+            for ph in self.phases
+        ]
+        return format_table(
+            [
+                "phase",
+                "ranks",
+                f"min ({unit_label})",
+                f"mean ({unit_label})",
+                f"max ({unit_label})",
+                "imbalance",
+                "comm %",
+            ],
+            rows,
+            title=(
+                f"Per-phase breakdown over {self.num_ranks} ranks "
+                f"(makespan {self.makespan * unit:.3f} {unit_label}, "
+                f"run imbalance {self.run_imbalance:.3f})"
+            ),
+            floatfmt=".3f",
+        )
+
+    def counter_table(self) -> str:
+        """Merged operation counters as an aligned text table."""
+        rows = [(k, int(v)) for k, v in sorted(self.counters.items())]
+        return format_table(
+            ["operation", "count"], rows, title="Operation counters (all ranks)"
+        )

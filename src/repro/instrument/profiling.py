@@ -1,0 +1,74 @@
+"""One-call profile report combining every observability view of a run.
+
+:func:`profile_report` is what ``repro profile`` and ``repro count
+--profile`` print: the per-phase breakdown with imbalance factors and
+communication fractions (always available), plus — when the run was
+traced — byte totals per collective, the hottest rank pairs of the
+communication matrix, the top wait-for edges, and the critical path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.instrument.commmatrix import CommMatrix
+from repro.instrument.metrics import RunMetrics
+from repro.instrument.report import format_table
+from repro.instrument.waits import critical_path_table, wait_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simmpi.engine import RunResult
+
+
+def profile_report(
+    run: "RunResult",
+    top_waits: int = 10,
+    counters: bool = True,
+    matrix: bool = False,
+) -> str:
+    """Render the full observability report of ``run`` as text.
+
+    ``matrix`` additionally includes the dense rank-to-rank message
+    matrix (readable up to a few dozen ranks).
+    """
+    metrics = RunMetrics.from_run(run)
+    parts = [metrics.phase_table()]
+    if counters and metrics.counters:
+        parts.append(metrics.counter_table())
+
+    traced = bool(run.tracer.events or run.tracer.spans)
+    if traced:
+        cm = CommMatrix.from_run(run)
+        coll = run.tracer.collective_bytes()
+        if coll:
+            parts.append(
+                format_table(
+                    ["collective", "bytes"],
+                    sorted(coll.items()),
+                    title="Wire bytes inside collectives",
+                )
+            )
+        pairs = cm.hottest_pairs()
+        if pairs:
+            parts.append(
+                format_table(
+                    ["src", "dst", "messages", "bytes"],
+                    pairs,
+                    title=(
+                        f"Hottest communication pairs "
+                        f"({cm.total_messages} msgs, {cm.total_bytes:,} "
+                        "bytes total)"
+                    ),
+                )
+            )
+        if matrix:
+            parts.append(cm.render("messages"))
+        wt = wait_table(run, top=top_waits)
+        parts.append(wt)
+        parts.append(critical_path_table(run))
+    else:
+        parts.append(
+            "(run was not traced: comm matrix, wait-for and critical-path "
+            "analyses need trace=True)"
+        )
+    return "\n\n".join(parts)

@@ -39,7 +39,7 @@ from repro.simmpi.errors import (
     SimMPIError,
 )
 from repro.simmpi.reduceops import BAND, BOR, MAX, MIN, PROD, SUM, ReduceOp
-from repro.simmpi.tracing import TraceEvent, Tracer
+from repro.simmpi.tracing import Span, TraceEvent, Tracer
 
 __all__ = [
     "ANY_SOURCE",
@@ -62,6 +62,7 @@ __all__ = [
     "ReduceOp",
     "RunResult",
     "SimMPIError",
+    "Span",
     "SUM",
     "TraceEvent",
     "Tracer",

@@ -158,13 +158,25 @@ class Comm:
     # ------------------------------------------------------------------
 
     def _coll_send(self, dest: int, seq: int, op: str, data: Any) -> None:
-        self.engine.post_send(
+        # Scans suffix the op with the round distance ("scan1", "scan2", ...)
+        # for matching; strip digits so accounting groups by the user-facing
+        # collective name.
+        base_op = op.rstrip("0123456789")
+        nbytes = self.engine.post_send(
             self._world_rank,
             self.members[dest],
             _COLL_TAG,
             self.comm_id,
             (_ENVELOPE, seq, op, data),
+            coll_op=base_op,
         )
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            ctx = self.engine.context(self._world_rank)
+            tracer.emit(
+                ctx.clock.now, self._world_rank, "collective",
+                op=base_op, peer=self.members[dest], nbytes=nbytes,
+            )
 
     def _coll_recv(self, source: int, seq: int, op: str) -> Any:
         payload, src_world, _tag = self.engine.wait_recv(

@@ -186,24 +186,32 @@ class RankContext:
         if count == 0:
             return
         dt = self.engine.model.compute_time(kind, count, working_set_bytes)
+        t0 = self.clock.now
         self.clock.advance_compute(dt)
         self.counters[kind] = self.counters.get(kind, 0.0) + count
-        self.engine.tracer.emit(
-            self.clock.now, self.rank, "compute", op=kind, count=count
-        )
+        tr = self.engine.tracer
+        if tr.enabled:
+            tr.emit(self.clock.now, self.rank, "compute", op=kind, count=count)
+            tr.span_point(
+                t0, self.clock.now, self.rank, "compute", kind, count=count
+            )
 
     @contextmanager
     def phase(self, name: str) -> Iterator[PhaseStats]:
         """Scope a named timing phase (nestable)."""
+        tr = self.engine.tracer
         ph = self.clock.phase_begin(name)
-        self.engine.tracer.emit(self.clock.now, self.rank, "phase_begin", name=ph.name)
+        span = None
+        if tr.enabled:
+            tr.emit(self.clock.now, self.rank, "phase_begin", name=ph.name)
+            span = tr.span_begin(self.clock.now, self.rank, "phase", ph.name)
         try:
             yield ph
         finally:
             self.clock.phase_end(ph)
-            self.engine.tracer.emit(
-                self.clock.now, self.rank, "phase_end", name=ph.name
-            )
+            if tr.enabled:
+                tr.span_end(self.clock.now, span)
+                tr.emit(self.clock.now, self.rank, "phase_end", name=ph.name)
 
 
 class Engine:
@@ -383,7 +391,13 @@ class Engine:
     # ------------------------------------------------------------------
 
     def post_send(
-        self, src: int, dst: int, tag: int, comm_id: int, payload: Any
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        comm_id: int,
+        payload: Any,
+        coll_op: str | None = None,
     ) -> int:
         """Eagerly deliver a message into ``dst``'s mailbox.
 
@@ -391,14 +405,18 @@ class Engine:
         plus the byte serialization time (its NIC pushes the bytes out
         one message at a time, so back-to-back sends serialize), and the
         message then arrives one wire latency (alpha) later.  Returns the
-        byte size used for accounting.
+        byte size used for accounting.  ``coll_op`` labels messages sent
+        from inside a collective so trace consumers can attribute wire
+        traffic to ``bcast``/``alltoall``/... instead of raw sends.
         """
         ctx = self._ctxs[src]
         nbytes = payload_nbytes(payload)
+        t0 = ctx.clock.now
         ctx.clock.advance_comm(self.model.send_overhead + self.model.beta * nbytes)
         arrival = ctx.clock.now + self.model.alpha
+        seq = next(self._seq)
         msg = _Message(
-            seq=next(self._seq),
+            seq=seq,
             src=src,
             dst=dst,
             tag=tag,
@@ -409,10 +427,22 @@ class Engine:
         )
         dst_state = self._states[dst]
         dst_state.mailbox.append(msg)
-        self.tracer.emit(
-            ctx.clock.now, src, "send", dst=dst, tag=tag, nbytes=nbytes,
-            arrival=arrival,
-        )
+        if self.tracer.enabled:
+            if coll_op is None:
+                self.tracer.emit(
+                    ctx.clock.now, src, "send", dst=dst, tag=tag, nbytes=nbytes,
+                    arrival=arrival, seq=seq,
+                )
+            else:
+                self.tracer.emit(
+                    ctx.clock.now, src, "send", dst=dst, tag=tag, nbytes=nbytes,
+                    arrival=arrival, seq=seq, coll=coll_op,
+                )
+            self.tracer.span_point(
+                t0, ctx.clock.now, src, "comm",
+                coll_op if coll_op is not None else "send",
+                dst=dst, nbytes=nbytes, seq=seq,
+            )
         # A parked receiver might now have a match; let it re-check.
         if dst_state.state == _BLOCKED:
             dst_state.state = _READY
@@ -434,11 +464,18 @@ class Engine:
             idx = self._match(st.mailbox, source, tag, comm_id)
             if idx is not None:
                 msg = st.mailbox.pop(idx)
-                ctx.clock.wait_until(msg.arrival)
-                self.tracer.emit(
-                    ctx.clock.now, rank, "recv", src=msg.src, tag=msg.tag,
-                    nbytes=msg.nbytes,
-                )
+                waited = ctx.clock.wait_until(msg.arrival)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        ctx.clock.now, rank, "recv", src=msg.src, tag=msg.tag,
+                        nbytes=msg.nbytes, waited=waited, seq=msg.seq,
+                    )
+                    if waited > 0:
+                        self.tracer.span_point(
+                            ctx.clock.now - waited, ctx.clock.now, rank,
+                            "comm", "wait", src=msg.src, nbytes=msg.nbytes,
+                            seq=msg.seq,
+                        )
                 return msg.payload, msg.src, msg.tag
             self._block(
                 rank,

@@ -1,9 +1,20 @@
-"""Optional event tracing for simulated-MPI runs.
+"""Event and span tracing for simulated-MPI runs.
 
-A :class:`Tracer` records timestamped events (sends, receives, compute
-charges, phase boundaries) that tests and the ``trace_gantt`` example use to
-visualize Cannon's shift pattern.  Tracing is off by default; it costs one
-list append per event when enabled.
+A :class:`Tracer` records two complementary views of a run:
+
+* **flat events** (:class:`TraceEvent`) — instantaneous, timestamped
+  records (sends, receives, compute charges, phase boundaries,
+  collective summaries) appended in engine-deterministic order;
+* **spans** (:class:`Span`) — intervals with a begin and end virtual
+  time, nested per rank (phases contain compute bursts, send overheads
+  and receive waits), which are what the Perfetto/Chrome exporter and
+  the wait-for analysis consume.
+
+Tracing is off by default.  When disabled, :meth:`Tracer.emit` and
+:meth:`Tracer.span_begin` return immediately without allocating anything,
+so instrumented hot paths cost one attribute check per call site (call
+sites additionally guard on :attr:`Tracer.enabled` to skip building the
+detail dict).
 """
 
 from __future__ import annotations
@@ -35,12 +46,53 @@ class TraceEvent:
     detail: dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass
+class Span:
+    """One traced interval on one rank's timeline.
+
+    Attributes
+    ----------
+    rank:
+        Rank whose timeline the span belongs to.
+    cat:
+        Span category: ``"phase"``, ``"compute"`` or ``"comm"``.
+    name:
+        Display label (phase name, op kind, ``"send"``/``"wait"``).
+    begin, end:
+        Virtual-time extent.  ``end`` is filled by :meth:`Tracer.span_end`
+        (it equals ``begin`` while the span is still open).
+    depth:
+        Nesting depth on the rank's span stack at open time (0 = top level).
+    detail:
+        Free-form payload (peer rank, byte count, op counts, ...).
+    """
+
+    rank: int
+    cat: str
+    name: str
+    begin: float
+    end: float
+    depth: int
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Virtual seconds covered by the span."""
+        return self.end - self.begin
+
+
 class Tracer:
-    """Accumulates :class:`TraceEvent` records for a run."""
+    """Accumulates :class:`TraceEvent` and :class:`Span` records for a run."""
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.events: list[TraceEvent] = []
+        #: Closed spans in close order (deterministic given the engine's
+        #: deterministic scheduling).
+        self.spans: list[Span] = []
+        self._stacks: dict[int, list[Span]] = {}
+
+    # -- flat events --------------------------------------------------------
 
     def emit(self, t: float, rank: int, kind: str, **detail: Any) -> None:
         """Record one event (no-op when disabled)."""
@@ -57,13 +109,91 @@ class Tracer:
         """Return all events charged to ``rank`` in recording order."""
         return [e for e in self.events if e.rank == rank]
 
+    # -- spans --------------------------------------------------------------
+
+    def span_begin(
+        self, t: float, rank: int, cat: str, name: str, **detail: Any
+    ) -> Span | None:
+        """Open a nested span on ``rank``'s timeline.
+
+        Returns the open :class:`Span` (pass it to :meth:`span_end`), or
+        ``None`` when tracing is disabled — :meth:`span_end` accepts
+        ``None``, so call sites need no extra branch.
+        """
+        if not self.enabled:
+            return None
+        stack = self._stacks.setdefault(rank, [])
+        span = Span(
+            rank=rank, cat=cat, name=name, begin=t, end=t,
+            depth=len(stack), detail=detail,
+        )
+        stack.append(span)
+        return span
+
+    def span_end(self, t: float, span: Span | None) -> None:
+        """Close ``span`` (must be the innermost open span of its rank)."""
+        if span is None:
+            return
+        stack = self._stacks.get(span.rank)
+        if not stack or stack[-1] is not span:
+            raise RuntimeError(
+                f"span_end({span.name!r}) does not match the innermost open "
+                f"span of rank {span.rank}"
+            )
+        stack.pop()
+        span.end = t
+        self.spans.append(span)
+
+    def span_point(
+        self, begin: float, end: float, rank: int, cat: str, name: str,
+        **detail: Any,
+    ) -> None:
+        """Record an already-closed span covering ``[begin, end]``.
+
+        Used by call sites that know the extent up front (a compute charge,
+        a send overhead, a receive wait) and need no nesting bookkeeping.
+        """
+        if self.enabled:
+            depth = len(self._stacks.get(rank, ()))
+            self.spans.append(
+                Span(rank=rank, cat=cat, name=name, begin=begin, end=end,
+                     depth=depth, detail=detail)
+            )
+
+    def spans_for_rank(self, rank: int) -> list[Span]:
+        """All closed spans of ``rank`` in close order."""
+        return [s for s in self.spans if s.rank == rank]
+
+    def open_spans(self) -> list[Span]:
+        """Spans begun but not yet ended (should be empty after a run)."""
+        return [s for stack in self._stacks.values() for s in stack]
+
+    # -- maintenance / aggregation ------------------------------------------
+
     def clear(self) -> None:
-        """Drop all recorded events."""
+        """Drop all recorded events and spans."""
         self.events.clear()
+        self.spans.clear()
+        self._stacks.clear()
 
     def total_bytes(self, kinds: Iterable[str] = ("send",)) -> int:
-        """Sum the ``nbytes`` detail over events of the given kinds."""
+        """Sum the ``nbytes`` detail over events of the given kinds.
+
+        ``"send"`` covers every wire message, including the point-to-point
+        messages collectives are built from; ``"collective"`` sums the
+        per-collective summaries (bytes a rank pushed into ``bcast``,
+        ``alltoall``, ...) without double-counting their underlying sends.
+        """
         ks = set(kinds)
         return sum(
             int(e.detail.get("nbytes", 0)) for e in self.events if e.kind in ks
         )
+
+    def collective_bytes(self) -> dict[str, int]:
+        """Bytes sent inside each collective op, keyed by op name."""
+        out: dict[str, int] = {}
+        for e in self.events:
+            if e.kind == "collective":
+                op = str(e.detail.get("op", "?"))
+                out[op] = out.get(op, 0) + int(e.detail.get("nbytes", 0))
+        return out

@@ -1,0 +1,37 @@
+"""Counter aggregation: merging and snapshot diffs."""
+
+from __future__ import annotations
+
+from repro.instrument import counters_diff, merge_counters
+
+
+def test_merge_counters_sums_elementwise():
+    assert merge_counters([{"a": 1.0, "b": 2.0}, {"b": 3.0, "c": 4.0}]) == {
+        "a": 1.0,
+        "b": 5.0,
+        "c": 4.0,
+    }
+
+
+def test_merge_counters_empty():
+    assert merge_counters([]) == {}
+
+
+def test_counters_diff_basic():
+    assert counters_diff({"a": 5.0, "b": 2.0}, {"a": 3.0, "b": 2.0}) == {"a": 2.0}
+
+
+def test_counters_diff_new_key():
+    assert counters_diff({"a": 1.0}, {}) == {"a": 1.0}
+
+
+def test_counters_diff_reports_removed_keys_as_negative():
+    # A key present before but gone after is a negative delta, not a
+    # silent drop.
+    assert counters_diff({}, {"a": 3.0}) == {"a": -3.0}
+    assert counters_diff({"b": 1.0}, {"a": 3.0, "b": 1.0}) == {"a": -3.0}
+
+
+def test_counters_diff_zero_before_value_still_dropped():
+    # A removed key that was zero anyway contributes no delta.
+    assert counters_diff({}, {"a": 0.0}) == {}

@@ -1,0 +1,86 @@
+"""Metrics registry: imbalance math, per-phase aggregation, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instrument import RunMetrics, imbalance_factor
+from repro.simmpi import Engine, MachineModel
+
+
+def test_imbalance_factor_hand_computed():
+    # mean of (1, 2, 3) is 2, max is 3 -> 1.5
+    assert imbalance_factor([1.0, 2.0, 3.0]) == pytest.approx(1.5)
+    assert imbalance_factor([4.0, 4.0, 4.0, 4.0]) == pytest.approx(1.0)
+    assert imbalance_factor([0.0, 0.0]) == 1.0
+    assert imbalance_factor([]) == 1.0
+
+
+def _uneven_model() -> MachineModel:
+    # 1e6 ops/s and no cache effects: one op = one microsecond, exactly.
+    return MachineModel(rates={"op": 1e6}, default_rate=1e6, cache=None)
+
+
+def test_phase_metrics_hand_computed():
+    # Rank r charges (r + 1) * 1000 ops at 1 op/us inside "work": busy
+    # times are exactly 1, 2, 3, 4 ms -> mean 2.5 ms, imbalance 1.6.
+    def program(ctx):
+        with ctx.phase("work"):
+            ctx.charge("op", 1000 * (ctx.rank + 1))
+
+    run = Engine(4, model=_uneven_model()).run(program)
+    m = RunMetrics.from_run(run)
+    ph = m.phase("work")
+    assert ph.ranks == 4
+    assert ph.t_min == pytest.approx(1e-3)
+    assert ph.t_max == pytest.approx(4e-3)
+    assert ph.t_mean == pytest.approx(2.5e-3)
+    assert ph.imbalance == pytest.approx(1.6)
+    assert ph.comm == 0.0
+    assert ph.comm_fraction == 0.0
+    # All ranks start the phase at t=0; reported span = slowest rank.
+    assert ph.elapsed == pytest.approx(4e-3)
+    assert m.makespan == pytest.approx(4e-3)
+    assert m.counters == {"op": 10000.0}
+
+
+def test_comm_fraction_counts_waiting():
+    def program(ctx):
+        with ctx.phase("work"):
+            if ctx.rank == 0:
+                ctx.charge("op", 5000)
+                ctx.comm.send(b"x" * 100, dest=1)
+            else:
+                ctx.comm.recv(source=0)
+
+    run = Engine(2, model=_uneven_model()).run(program)
+    ph = RunMetrics.from_run(run).phase("work")
+    # Rank 1 spent essentially its whole phase waiting on rank 0.
+    assert ph.comm > 0
+    assert 0.0 < ph.comm_fraction < 1.0
+    assert ph.comm_fraction == pytest.approx(
+        ph.comm / (ph.comm + ph.compute)
+    )
+
+
+def test_unknown_phase_raises():
+    def program(ctx):
+        with ctx.phase("a"):
+            ctx.charge("op", 1)
+
+    m = RunMetrics.from_run(Engine(1).run(program))
+    with pytest.raises(KeyError):
+        m.phase("nope")
+
+
+def test_tables_render():
+    def program(ctx):
+        with ctx.phase("work"):
+            ctx.charge("op", 100 * (ctx.rank + 1))
+
+    m = RunMetrics.from_run(Engine(2).run(program))
+    table = m.phase_table()
+    assert "phase" in table and "imbalance" in table and "comm %" in table
+    assert "work" in table
+    counters = m.counter_table()
+    assert "op" in counters and "300" in counters

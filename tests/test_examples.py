@@ -30,11 +30,22 @@ def test_quickstart(capsys):
     assert "OK: counts agree" in out
 
 
-def test_trace_gantt(capsys):
-    run_example("trace_gantt.py")
+def test_trace_gantt(capsys, tmp_path):
+    import json
+
+    trace_file = tmp_path / "gantt.trace.json"
+    run_example("trace_gantt.py", [str(trace_file)])
     out = capsys.readouterr().out
     assert "rank 8 |" in out
     assert "#" in out and "." in out
+    # The example also exports a Perfetto/Chrome trace of the same run.
+    assert "Perfetto" in out
+    doc = json.loads(trace_file.read_text())
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert doc["otherData"]["ranks"] == 9
+    phases = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert any(e["name"] == "tct" and e["cat"] == "phase" for e in phases)
+    assert all({"ph", "pid", "tid", "ts"} <= set(e) for e in phases)
 
 
 def test_compare_baselines_small(capsys):
