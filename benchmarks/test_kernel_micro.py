@@ -95,6 +95,48 @@ def test_bench_intersection_kernel(benchmark, block_triple):
     assert st.tasks > 0
 
 
+@pytest.mark.parametrize("backend", ["row", "batch"])
+def test_bench_intersection_kernel_backend(benchmark, block_triple, backend):
+    """Per-backend timing of the same block triple (the regression pair
+    that ``repro.bench.kernelbench`` gates on in CI)."""
+    t_blk, u_blk, l_blk = block_triple
+    cfg = TC2DConfig(kernel_backend=backend)
+    st = benchmark(count_block_pair, t_blk, u_blk, l_blk, cfg)
+    assert st.triangles >= 0
+    assert st.tasks > 0
+
+
+def test_backend_parity_on_bench_input(block_triple):
+    """Before trusting any timing: row and batch must agree bit-for-bit
+    on the benchmark input (counts AND logical counters)."""
+    from dataclasses import asdict
+
+    t_blk, u_blk, l_blk = block_triple
+    cfg = TC2DConfig()
+    st_row = count_block_pair(t_blk, u_blk, l_blk, cfg, backend="row")
+    st_batch = count_block_pair(t_blk, u_blk, l_blk, cfg, backend="batch")
+    assert asdict(st_row) == asdict(st_batch)
+
+
+def test_kernelbench_smoke(tmp_path):
+    """The standalone harness runs end to end and writes a well-formed
+    BENCH_kernels.json with the expected schema."""
+    import json
+
+    from repro.bench.kernelbench import check_regressions, main
+
+    out = tmp_path / "BENCH_kernels.json"
+    rc = main(["--smoke", "--reps", "3", "--out", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == 1
+    assert report["mode"] == "smoke"
+    assert all(
+        {"row", "batch"} <= set(c["backends"]) for c in report["cases"]
+    )
+    assert isinstance(check_regressions(report), list)
+
+
 def test_bench_intersection_kernel_no_optimizations(benchmark, block_triple):
     t_blk, u_blk, l_blk = block_triple
     cfg = TC2DConfig(doubly_sparse=False, modified_hashing=False, early_stop=False)

@@ -1,0 +1,238 @@
+"""Wall-clock microbenchmark harness for the intersection-kernel backends.
+
+Times ``count_block_pair`` on realistic (task, U, L) block triples cut
+from RMAT graphs — the same construction the pytest-benchmark suite in
+``benchmarks/test_kernel_micro.py`` uses — and writes a machine-readable
+regression artifact (``BENCH_kernels.json`` by default).
+
+Timing methodology: the backends of a case are measured *interleaved*
+(round-robin, best-of-N) rather than back to back, so CPU frequency
+drift and scheduler noise hit every backend equally; the best-of
+repetitions make the numbers approach the noise floor from above.  The
+harness also cross-checks that every backend returns the same triangle
+count and :class:`KernelStats` before trusting any timing.
+
+Run it as a module::
+
+    python -m repro.bench.kernelbench            # full sweep
+    python -m repro.bench.kernelbench --smoke    # CI-sized subset
+    python -m repro.bench.kernelbench --check    # exit 1 on regression
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.core.blocks import Block, build_block
+from repro.core.config import TC2DConfig
+from repro.core.kernels import get_backend
+from repro.graph import rmat_graph
+
+#: Backends timed by default ("auto" adds only dispatch overhead on top
+#: of whichever concrete backend it picks, so it is not timed separately).
+BACKENDS = ("row", "batch")
+
+#: The regression gate: ``--check`` fails when batch is slower than
+#: ``row * CHECK_TOLERANCE`` on any case (tolerance absorbs timer noise
+#: on tiny smoke cases).
+CHECK_TOLERANCE = 1.10
+
+
+def make_block_triple(
+    scale: int, q: int, seed: int = 2, residue: tuple[int, int] = (0, 0)
+) -> tuple[Block, Block, Block]:
+    """A realistic (task, U, L) triple: block ``residue`` of the 2D cyclic
+    split of an RMAT graph's upper triangle over a ``q x q`` grid."""
+    g = rmat_graph(scale, seed=seed)
+    U = g.upper_csr()
+    rows, cols = U.to_coo()
+    rx, ry = residue
+    sel = (rows % q == rx) & (cols % q == ry)
+    nb = (g.n + q - 1) // q
+    u_blk = build_block("U-row", rx, ry, nb, nb, rows[sel] // q, cols[sel] // q)
+    l_blk = build_block("L-col", rx, ry, nb, nb, rows[sel] // q, cols[sel] // q)
+    t_blk = build_block("task", rx, ry, nb, nb, cols[sel] // q, rows[sel] // q)
+    return t_blk, u_blk, l_blk
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchCase:
+    """One (graph, grid, toggles) point of the sweep."""
+
+    name: str
+    scale: int
+    q: int
+    cfg: TC2DConfig = TC2DConfig()
+
+    def blocks(self) -> tuple[Block, Block, Block]:
+        return make_block_triple(self.scale, self.q)
+
+
+#: The standard sweep.  "rmat11-q3" is *the* acceptance case (the same
+#: triple as the pytest-benchmark fixture); the others probe scaling and
+#: the toggles' interaction with the vectorized path.
+CASES = (
+    BenchCase("rmat11-q3", 11, 3),
+    BenchCase("rmat12-q3", 12, 3),
+    BenchCase("rmat13-q4", 13, 4),
+    BenchCase(
+        "rmat11-q3-probed",
+        11,
+        3,
+        TC2DConfig(modified_hashing=False),
+    ),
+    BenchCase(
+        "rmat11-q3-noearlystop",
+        11,
+        3,
+        TC2DConfig(early_stop=False),
+    ),
+)
+
+SMOKE_CASES = (
+    BenchCase("rmat9-q3-smoke", 9, 3),
+    BenchCase("rmat10-q3-smoke", 10, 3),
+)
+
+
+def _time_case(
+    case: BenchCase, backends: tuple[str, ...], reps: int
+) -> dict[str, Any]:
+    t_blk, u_blk, l_blk = case.blocks()
+    fns = {b: get_backend(b) for b in backends}
+
+    # Contract check before any timing: identical stats across backends.
+    stats = {
+        b: dataclasses.asdict(fn(t_blk, u_blk, l_blk, case.cfg))
+        for b, fn in fns.items()
+    }
+    ref = stats[backends[0]]
+    for b, st in stats.items():
+        if st != ref:
+            raise AssertionError(
+                f"{case.name}: backend {b!r} diverges from "
+                f"{backends[0]!r}: {st} != {ref}"
+            )
+
+    best = {b: float("inf") for b in backends}
+    for _rep in range(reps):
+        for b in backends:  # interleaved so noise hits all backends alike
+            fn = fns[b]
+            t0 = time.perf_counter()
+            fn(t_blk, u_blk, l_blk, case.cfg)
+            best[b] = min(best[b], time.perf_counter() - t0)
+
+    timings = {b: {"best_ms": best[b] * 1e3, "reps": reps} for b in backends}
+    out: dict[str, Any] = {
+        "name": case.name,
+        "scale": case.scale,
+        "q": case.q,
+        "toggles": {
+            "modified_hashing": case.cfg.modified_hashing,
+            "early_stop": case.cfg.early_stop,
+            "doubly_sparse": case.cfg.doubly_sparse,
+        },
+        "task_nnz": int(t_blk.nnz),
+        "u_nnz": int(u_blk.nnz),
+        "triangles": int(ref["triangles"]),
+        "tasks": int(ref["tasks"]),
+        "backends": timings,
+    }
+    if "row" in best and "batch" in best and best["batch"] > 0:
+        out["speedup_batch_vs_row"] = best["row"] / best["batch"]
+    return out
+
+
+def run_bench(
+    smoke: bool = False,
+    reps: int = 15,
+    backends: tuple[str, ...] = BACKENDS,
+) -> dict[str, Any]:
+    """Run the sweep and return the JSON-serializable report."""
+    cases = SMOKE_CASES if smoke else CASES
+    results = []
+    for case in cases:
+        res = _time_case(case, backends, reps)
+        results.append(res)
+        spd = res.get("speedup_batch_vs_row")
+        spd_txt = f"  batch speedup {spd:.2f}x" if spd else ""
+        timing_txt = "  ".join(
+            f"{b}={res['backends'][b]['best_ms']:.3f}ms" for b in backends
+        )
+        print(f"{case.name:<24} {timing_txt}{spd_txt}", file=sys.stderr)
+    return {
+        "schema": 1,
+        "suite": "kernel-backends",
+        "mode": "smoke" if smoke else "full",
+        "reps": reps,
+        "cases": results,
+    }
+
+
+def check_regressions(report: dict[str, Any]) -> list[str]:
+    """Regression gate: batch must not be slower than row on any case."""
+    failures = []
+    for case in report["cases"]:
+        t = case["backends"]
+        if "row" not in t or "batch" not in t:
+            continue
+        row_ms, batch_ms = t["row"]["best_ms"], t["batch"]["best_ms"]
+        if batch_ms > row_ms * CHECK_TOLERANCE:
+            failures.append(
+                f"{case['name']}: batch {batch_ms:.3f}ms > "
+                f"row {row_ms:.3f}ms * {CHECK_TOLERANCE}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.bench.kernelbench",
+        description="microbenchmark the intersection-kernel backends",
+    )
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI-sized cases instead of the full sweep",
+    )
+    ap.add_argument(
+        "--reps", type=int, default=15, help="best-of repetitions per case"
+    )
+    ap.add_argument(
+        "--out",
+        default="BENCH_kernels.json",
+        help="output JSON path ('-' for stdout only)",
+    )
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when batch is slower than row on any case",
+    )
+    args = ap.parse_args(argv)
+
+    report = run_bench(smoke=args.smoke, reps=args.reps)
+    text = json.dumps(report, indent=2) + "\n"
+    if args.out == "-":
+        print(text, end="")
+    else:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.check:
+        failures = check_regressions(report)
+        if failures:
+            for f in failures:
+                print(f"REGRESSION: {f}", file=sys.stderr)
+            return 1
+        print("check passed: batch >= row on every case", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -94,6 +94,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         modified_hashing=not args.no_modified_hashing,
         early_stop=not args.no_early_stop,
         blob_serialization=not args.no_blob,
+        kernel_backend=args.kernel,
     )
     if args.algorithm == "tc2d":
         res = count_triangles_2d(
@@ -129,6 +130,19 @@ def _cmd_count(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backend_label(res) -> str | None:
+    """Human-readable kernel-backend label for the profile report, e.g.
+    ``"batch"`` or ``"auto (batch×36, row×12)"``."""
+    backend = res.extras.get("kernel_backend")
+    if not backend:
+        return None
+    uses = res.extras.get("kernel_backend_uses") or {}
+    if uses and (backend == "auto" or len(uses) > 1):
+        detail = ", ".join(f"{k}×{v}" for k, v in sorted(uses.items()))
+        return f"{backend} ({detail})"
+    return backend
+
+
 def _emit_observability(args: argparse.Namespace, res) -> None:
     """Write the Perfetto trace and/or print the profile report."""
     from repro.instrument import profile_report, write_chrome_trace
@@ -152,26 +166,28 @@ def _emit_observability(args: argparse.Namespace, res) -> None:
                 run,
                 top_waits=getattr(args, "top_waits", 10),
                 matrix=getattr(args, "matrix", False),
+                kernel_backend=_backend_label(res),
             )
         )
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.bench.calibration import paper_model
-    from repro.core import count_triangles_2d, count_triangles_summa
+    from repro.core import TC2DConfig, count_triangles_2d, count_triangles_summa
 
     spec = _dataset_spec(args)
     g = _load_graph(spec, args.seed)
+    cfg = TC2DConfig(kernel_backend=args.kernel)
     if args.algorithm == "tc2d":
         res = count_triangles_2d(
-            g, args.ranks, model=paper_model(), trace=True, dataset=spec
+            g, args.ranks, cfg=cfg, model=paper_model(), trace=True, dataset=spec
         )
     else:
         pr = max(1, int(args.ranks**0.5))
         while args.ranks % pr:
             pr -= 1
         res = count_triangles_summa(
-            g, pr, args.ranks // pr, model=paper_model(), trace=True,
+            g, pr, args.ranks // pr, cfg=cfg, model=paper_model(), trace=True,
             dataset=spec,
         )
     print(res.summary())
@@ -255,6 +271,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="tc2d",
     )
     c.add_argument("--enumeration", choices=["jik", "ijk"], default="jik")
+    c.add_argument(
+        "--kernel",
+        choices=["auto", "row", "batch"],
+        default="auto",
+        help="intersection-kernel backend (identical results; wall time "
+        "only)",
+    )
     c.add_argument("--no-doubly-sparse", action="store_true")
     c.add_argument("--no-modified-hashing", action="store_true")
     c.add_argument("--no-early-stop", action="store_true")
@@ -287,6 +310,13 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--ranks", "-p", type=int, default=16)
     pr.add_argument(
         "--algorithm", "-a", choices=["tc2d", "summa"], default="tc2d"
+    )
+    pr.add_argument(
+        "--kernel",
+        choices=["auto", "row", "batch"],
+        default="auto",
+        help="intersection-kernel backend (identical results; wall time "
+        "only)",
     )
     pr.add_argument("--seed", type=int, default=0)
     pr.add_argument(

@@ -92,7 +92,16 @@ class Block:
 
     @classmethod
     def from_blob(cls, blob: np.ndarray) -> "Block":
-        """Inverse of :meth:`to_blob`."""
+        """Inverse of :meth:`to_blob` — **zero-copy**.
+
+        The reconstructed block's ``indptr``/``indices`` are views into
+        ``blob``, not copies: :meth:`to_blob` always packs into a fresh
+        buffer that the sender drops after the exchange, so the arriving
+        block is the buffer's sole owner and a deserialization copy would
+        only burn memory bandwidth on the hot shift path.  Callers that
+        deserialize a buffer they intend to keep mutating must pass
+        ``blob.copy()`` themselves.
+        """
         blob = np.asarray(blob, dtype=INDEX_DTYPE)
         if len(blob) < _HEADER_LEN:
             raise ValueError("blob too short for a block header")
@@ -110,7 +119,7 @@ class Block:
             kind=_KIND_NAMES[kind_code],
             fixed_residue=fixed,
             inner_residue=inner,
-            dcsr=DCSR(CSR(n_rows, indptr.copy(), indices.copy(), n_cols=n_cols)),
+            dcsr=DCSR(CSR(n_rows, indptr, indices, n_cols=n_cols)),
         )
 
 

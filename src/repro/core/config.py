@@ -15,6 +15,11 @@ from typing import Any
 #: hashes the lower-degree endpoint and probes with the long lists.
 ENUMERATIONS = ("jik", "ijk")
 
+#: Valid intersection-kernel backends (see :mod:`repro.core.kernels`):
+#: "row" is the reference per-row loop, "batch" the fully vectorized
+#: implementation, "auto" picks per block pair from cheap shape stats.
+KERNEL_BACKENDS = ("auto", "row", "batch")
+
 
 @dataclass(frozen=True)
 class TC2DConfig:
@@ -49,7 +54,14 @@ class TC2DConfig:
         much the ordering matters; the U/L split then uses (degree, id)
         comparisons directly.
     hashmap_slack:
-        Hash-map capacity as a multiple of the longest local fragment.
+        Hash-map capacity as a multiple of the longest local fragment;
+        may be fractional (the product is rounded to an integer before it
+        sizes the map).
+    kernel_backend:
+        Intersection-kernel implementation: ``"row"`` (reference per-row
+        loop), ``"batch"`` (vectorized), or ``"auto"`` (per-block-pair
+        choice from shape statistics).  All backends produce identical
+        counts, counters and virtual time — only wall time differs.
     track_per_shift:
         Record per-shift compute spans (Table 3) — small overhead.
     """
@@ -61,7 +73,8 @@ class TC2DConfig:
     blob_serialization: bool = True
     initial_cyclic: bool = True
     degree_reorder: bool = True
-    hashmap_slack: int = 1
+    hashmap_slack: float = 1
+    kernel_backend: str = "auto"
     track_per_shift: bool = True
 
     def __post_init__(self) -> None:
@@ -72,6 +85,11 @@ class TC2DConfig:
             )
         if self.hashmap_slack < 1:
             raise ValueError("hashmap_slack must be >= 1")
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, "
+                f"got {self.kernel_backend!r}"
+            )
 
     def replace(self, **kwargs: Any) -> "TC2DConfig":
         """Copy with some fields replaced (ablation helper)."""

@@ -1,73 +1,33 @@
-"""Map-based block intersection kernel (the per-shift compute step).
+"""Map-based block intersection (the per-shift compute step).
 
 For the task block C[L] (jik enumeration), a task at (row j, column i)
-contributes ``|U_j  intersect  L_col_i|`` triangles, where both fragments are
-restricted to the current inner residue z'.  The kernel iterates the task
-rows, builds one hash map per row from the U fragment (reused across every
-task in the row — the map-reuse benefit that makes jik the winning scheme),
-and probes it with the L column fragments.
+contributes ``|U_j  intersect  L_col_i|`` triangles, where both fragments
+are restricted to the current inner residue z'.  The actual work is done
+by one of the interchangeable backends in :mod:`repro.core.kernels`:
 
-Section 5.2 optimizations, all toggleable via :class:`TC2DConfig`:
+* ``"row"`` — the reference per-row loop (hash build per row, probe per
+  task), a direct transcription of the paper's Section 5.2 kernel;
+* ``"batch"`` — fully vectorized bulk gathers + one ``searchsorted``
+  membership pass, with only collision-afflicted rows replayed through
+  the hash map;
+* ``"auto"`` — per-block-pair choice from cheap shape statistics.
 
-* doubly-sparse traversal — iterate only non-empty task rows;
-* modified hashing — direct-bitmask fast path in
-  :class:`~repro.hashing.hashmap.BlockHashMap`;
-* early stop — probe candidates below ``min(U_j)`` cannot match (both
-  fragments are sorted), so they are cut before probing; in the scalar
-  formulation this is the paper's backward traversal that breaks out of
-  the loop at the first id below the hashed fragment's minimum.
-
+:func:`count_block_pair` resolves ``cfg.kernel_backend`` and delegates.
 Operation counts are *logical* (what a scalar C implementation would
-execute); the numpy vectorization below only changes wall time, never the
-counters or the modeled virtual time.
+execute); backends only change wall time, never the counters or the
+modeled virtual time — see ``docs/kernels.md`` for the contract and the
+microbenchmark harness that protects it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from repro.core.arrayutil import multirange, segment_lengths_to_offsets, segment_sums
 from repro.core.blocks import Block
 from repro.core.config import TC2DConfig
-from repro.hashing import BlockHashMap
+from repro.core.kernels import KernelStats, kernel_capacity, resolve_backend
 
-
-@dataclass
-class KernelStats:
-    """Logical operation counts from one (or more) kernel invocations."""
-
-    row_visits: int = 0
-    tasks: int = 0  # tasks reaching the map-based intersection (Table 4)
-    hash_builds: int = 0
-    hash_fast_builds: int = 0
-    insert_steps_fast: int = 0  # direct-mask (collision-free) inserts
-    insert_steps_slow: int = 0  # multiplicative-hash probed inserts
-    probe_steps_fast: int = 0  # single-compare lookups in fast-mode maps
-    probe_steps_slow: int = 0  # probed lookups (incl. collision hops)
-    probes_skipped: int = 0  # candidates eliminated by the early stop
-    triangles: int = 0
-
-    @property
-    def hash_insert_steps(self) -> int:
-        return self.insert_steps_fast + self.insert_steps_slow
-
-    @property
-    def probe_steps(self) -> int:
-        return self.probe_steps_fast + self.probe_steps_slow
-
-    def merge(self, other: "KernelStats") -> None:
-        self.row_visits += other.row_visits
-        self.tasks += other.tasks
-        self.hash_builds += other.hash_builds
-        self.hash_fast_builds += other.hash_fast_builds
-        self.insert_steps_fast += other.insert_steps_fast
-        self.insert_steps_slow += other.insert_steps_slow
-        self.probe_steps_fast += other.probe_steps_fast
-        self.probe_steps_slow += other.probe_steps_slow
-        self.probes_skipped += other.probes_skipped
-        self.triangles += other.triangles
+__all__ = ["KernelStats", "count_block_pair", "kernel_capacity"]
 
 
 def count_block_pair(
@@ -76,6 +36,7 @@ def count_block_pair(
     l_block: Block,
     cfg: TC2DConfig,
     support_out: np.ndarray | None = None,
+    backend: str | None = None,
 ) -> KernelStats:
     """Count the triangles closed by one (task, U, L) block triple.
 
@@ -83,95 +44,12 @@ def count_block_pair(
     block's CSR order), per-task triangle counts are accumulated into it —
     the hook the k-truss/support extension uses.
 
+    ``backend`` overrides ``cfg.kernel_backend`` (``"row"``, ``"batch"``
+    or ``"auto"``) for this call.
+
     Returns a :class:`KernelStats`; the triangle count is
     ``stats.triangles``.
     """
-    tasks = task_block.dcsr
-    U = u_block.dcsr
-    L = l_block.dcsr
-    if u_block.inner_residue != l_block.inner_residue:
-        raise ValueError(
-            "operand blocks misaligned: U carries residue "
-            f"{u_block.inner_residue}, L carries {l_block.inner_residue} "
-            "(Cannon shift mismatch)"
-        )
-
-    stats = KernelStats()
-    stats.row_visits = tasks.row_visit_cost(cfg.doubly_sparse)
-
-    l_indptr = L.indptr
-    l_indices = L.indices
-    t_indptr = tasks.indptr
-    t_indices = tasks.indices
-
-    cap = max(4, cfg.hashmap_slack * max(1, U.max_row_length()))
-    hm = BlockHashMap(cap)
-
-    total = 0
-    want_support = support_out is not None
-
-    row_iter = tasks.nonempty_rows if cfg.doubly_sparse else range(tasks.n_rows)
-    for j in row_iter:
-        j = int(j)
-        t_lo, t_hi = int(t_indptr[j]), int(t_indptr[j + 1])
-        if t_lo == t_hi:
-            continue
-        urow = U.row(j)
-        if len(urow) == 0:
-            # No U fragment for this row at this shift: every task here is
-            # skipped before any map work (part of what the doubly-sparse
-            # design eliminates cheaply).
-            continue
-        tcols = t_indices[t_lo:t_hi]
-        starts = l_indptr[tcols]
-        lens = l_indptr[tcols + 1] - starts
-        ntasks = int(np.count_nonzero(lens))
-        if ntasks == 0:
-            continue
-        stats.tasks += ntasks
-
-        gather = multirange(starts, lens)
-        vals = l_indices[gather]
-        if cfg.early_stop:
-            keep = vals >= urow[0]
-            window = vals[keep]
-            stats.probes_skipped += len(vals) - len(window)
-        else:
-            keep = None
-            window = vals
-        ins0 = hm.stats.insert_steps
-        fast = hm.build(urow, allow_fast=cfg.modified_hashing)
-        stats.hash_builds += 1
-        stats.hash_fast_builds += int(fast)
-        ins_delta = hm.stats.insert_steps - ins0
-        if fast:
-            stats.insert_steps_fast += ins_delta
-        else:
-            stats.insert_steps_slow += ins_delta
-
-        if len(window) == 0:
-            continue
-        if want_support:
-            lk0 = hm.stats.lookup_steps
-            mask = hm.hit_mask(window)
-            hits = int(np.count_nonzero(mask))
-            steps = hm.stats.lookup_steps - lk0
-            # Scatter hits back to per-task counts.
-            per_probe = np.zeros(len(vals), dtype=np.int64)
-            if keep is None:
-                per_probe[:] = mask
-            else:
-                per_probe[keep] = mask
-            offs = segment_lengths_to_offsets(lens)
-            per_task = segment_sums(per_probe, offs)
-            support_out[t_lo:t_hi] += per_task
-        else:
-            hits, steps = hm.lookup_many(window)
-        if fast:
-            stats.probe_steps_fast += steps
-        else:
-            stats.probe_steps_slow += steps
-        total += hits
-
-    stats.triangles = total
-    return stats
+    name = backend if backend is not None else cfg.kernel_backend
+    _, fn = resolve_backend(name, task_block, u_block, l_block, cfg)
+    return fn(task_block, u_block, l_block, cfg, support_out)

@@ -1,0 +1,196 @@
+"""Row-wise intersection kernel — the reference backend (``"row"``).
+
+This is the direct transcription of the paper's per-row loop: walk the
+task rows, build one hash map per row from the U fragment (reused across
+every task in the row — the map-reuse benefit that makes jik the winning
+scheme), and probe it with the L column fragments.  It is kept as the
+semantic reference that the vectorized backends must match bit-for-bit on
+:class:`~repro.core.kernels.common.KernelStats` — only wall time may
+differ.
+
+Section 5.2 optimizations, all toggleable via :class:`TC2DConfig`:
+
+* doubly-sparse traversal — iterate only non-empty task rows;
+* modified hashing — direct-bitmask fast path in
+  :class:`~repro.hashing.hashmap.BlockHashMap`;
+* early stop — probe candidates below ``min(U_j)`` cannot match (both
+  fragments are sorted), so they are cut before probing; in the scalar
+  formulation this is the paper's backward traversal that breaks out of
+  the loop at the first id below the hashed fragment's minimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.arrayutil import multirange, segment_lengths_to_offsets, segment_sums
+from repro.core.blocks import Block
+from repro.core.config import TC2DConfig
+from repro.core.kernels.common import KernelStats, kernel_capacity, require_aligned
+from repro.hashing import BlockHashMap
+
+
+def count_block_pair_row(
+    task_block: Block,
+    u_block: Block,
+    l_block: Block,
+    cfg: TC2DConfig,
+    support_out: np.ndarray | None = None,
+) -> KernelStats:
+    """Count the triangles closed by one (task, U, L) block triple,
+    visiting the task rows one at a time."""
+    tasks = task_block.dcsr
+    U = u_block.dcsr
+    L = l_block.dcsr
+    require_aligned(u_block, l_block)
+
+    stats = KernelStats()
+    stats.row_visits = tasks.row_visit_cost(cfg.doubly_sparse)
+
+    l_indptr = L.indptr
+    l_indices = L.indices
+    t_indptr = tasks.indptr
+    t_indices = tasks.indices
+
+    hm = BlockHashMap(kernel_capacity(cfg, U))
+
+    total = 0
+    want_support = support_out is not None
+    # Scratch for the per-probe hit scatter in the support path, grown
+    # geometrically and reused across rows instead of reallocated per row.
+    scratch = np.empty(0, dtype=np.int64)
+
+    row_iter = tasks.nonempty_rows if cfg.doubly_sparse else range(tasks.n_rows)
+    for j in row_iter:
+        j = int(j)
+        t_lo, t_hi = int(t_indptr[j]), int(t_indptr[j + 1])
+        if t_lo == t_hi:
+            continue
+        urow = U.row(j)
+        if len(urow) == 0:
+            # No U fragment for this row at this shift: every task here is
+            # skipped before any map work (part of what the doubly-sparse
+            # design eliminates cheaply).
+            continue
+        tcols = t_indices[t_lo:t_hi]
+        starts = l_indptr[tcols]
+        lens = l_indptr[tcols + 1] - starts
+        ntasks = int(np.count_nonzero(lens))
+        if ntasks == 0:
+            continue
+        stats.tasks += ntasks
+
+        gather = multirange(starts, lens)
+        vals = l_indices[gather]
+        if cfg.early_stop:
+            keep = vals >= urow[0]
+            window = vals[keep]
+            stats.probes_skipped += len(vals) - len(window)
+        else:
+            keep = None
+            window = vals
+        ins0 = hm.stats.insert_steps
+        fast = hm.build(urow, allow_fast=cfg.modified_hashing)
+        stats.hash_builds += 1
+        stats.hash_fast_builds += int(fast)
+        ins_delta = hm.stats.insert_steps - ins0
+        if fast:
+            stats.insert_steps_fast += ins_delta
+        else:
+            stats.insert_steps_slow += ins_delta
+
+        if len(window) == 0:
+            continue
+        if want_support:
+            lk0 = hm.stats.lookup_steps
+            mask = hm.hit_mask(window)
+            hits = int(np.count_nonzero(mask))
+            steps = hm.stats.lookup_steps - lk0
+            # Scatter hits back to per-task counts.
+            if len(vals) > len(scratch):
+                scratch = np.empty(max(16, 2 * len(vals)), dtype=np.int64)
+            per_probe = scratch[: len(vals)]
+            per_probe[:] = 0
+            if keep is None:
+                per_probe[:] = mask
+            else:
+                per_probe[keep] = mask
+            offs = segment_lengths_to_offsets(lens)
+            per_task = segment_sums(per_probe, offs)
+            support_out[t_lo:t_hi] += per_task
+        else:
+            hits, steps = hm.lookup_many(window)
+        if fast:
+            stats.probe_steps_fast += steps
+        else:
+            stats.probe_steps_slow += steps
+        total += hits
+
+    stats.triangles = total
+    return stats
+
+
+def enumerate_hits_row(
+    task_block: Block,
+    u_block: Block,
+    l_block: Block,
+    cfg: TC2DConfig,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-wise enumeration: the hits of every task as local-id triples.
+
+    Returns ``(j_local, i_local, k_local)`` arrays, one entry per
+    triangle, in row-major task order — the order the listing pipeline
+    relies on.  ``(j, i)`` is the task edge, ``k`` the closing vertex.
+    """
+    tasks = task_block.dcsr
+    U = u_block.dcsr
+    L = l_block.dcsr
+    require_aligned(u_block, l_block)
+
+    hm = BlockHashMap(kernel_capacity(cfg, U))
+    out_j: list[np.ndarray] = []
+    out_i: list[np.ndarray] = []
+    out_k: list[np.ndarray] = []
+
+    l_indptr, l_indices = L.indptr, L.indices
+    t_indptr, t_indices = tasks.indptr, tasks.indices
+    row_iter = tasks.nonempty_rows if cfg.doubly_sparse else range(tasks.n_rows)
+    for j_local in row_iter:
+        j_local = int(j_local)
+        t_lo, t_hi = int(t_indptr[j_local]), int(t_indptr[j_local + 1])
+        if t_lo == t_hi:
+            continue
+        urow = U.row(j_local)
+        if len(urow) == 0:
+            continue
+        tcols = t_indices[t_lo:t_hi]
+        starts = l_indptr[tcols]
+        lens = l_indptr[tcols + 1] - starts
+        if int(lens.sum()) == 0:
+            continue
+        gather = multirange(starts, lens)
+        vals = l_indices[gather]
+        probe_task = np.repeat(tcols, lens)
+        if cfg.early_stop:
+            keep = vals >= urow[0]
+            vals = vals[keep]
+            probe_task = probe_task[keep]
+        if len(vals) == 0:
+            continue
+        hm.build(urow, allow_fast=cfg.modified_hashing)
+        mask = hm.hit_mask(vals)
+        if not mask.any():
+            continue
+        k_loc = vals[mask]
+        out_j.append(np.full(len(k_loc), j_local, dtype=np.int64))
+        out_i.append(probe_task[mask])
+        out_k.append(k_loc)
+
+    if not out_j:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    return (
+        np.concatenate(out_j),
+        np.concatenate(out_i),
+        np.concatenate(out_k),
+    )

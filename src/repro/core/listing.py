@@ -29,7 +29,7 @@ import numpy as np
 from repro.core.blocks import exchange_block
 from repro.core.config import TC2DConfig
 from repro.core.grid import ProcessorGrid
-from repro.core.intersect import count_block_pair
+from repro.core.kernels import get_enumerator, resolve_backend
 from repro.core.preprocess import (
     InputChunk,
     chunk_bounds,
@@ -38,7 +38,6 @@ from repro.core.preprocess import (
     preprocess_with_labels,
 )
 from repro.graph.csr import INDEX_DTYPE, Graph
-from repro.hashing import BlockHashMap
 from repro.simmpi import SUM, Engine, MachineModel
 from repro.simmpi.engine import RankContext
 
@@ -73,67 +72,33 @@ class TriangleCensus:
 def _enumerate_block_pair(task_block, u_block, l_block, cfg, q: int):
     """Like the counting kernel, but emits the closing triples.
 
-    Returns ``(n_triangles, triples)`` with triples as a ``(t, 3)`` array
-    of *global label2* ids ``(i, j, k)`` where (j, i) is the task edge and
+    Delegates the hit enumeration to the backend registry (the same
+    ``cfg.kernel_backend`` resolution as the counting path), then lifts
+    the local triples into global label2 space.  Returns
+    ``(n_triangles, triples)`` with triples as a ``(t, 3)`` array of
+    *global label2* ids ``(i, j, k)`` where (j, i) is the task edge and
     k the closing vertex (i < j < k in degree order).
     """
-    t = task_block.dcsr
-    U = u_block.dcsr
-    L = l_block.dcsr
     if u_block.inner_residue != l_block.inner_residue:
         raise ValueError("operand blocks misaligned in enumeration kernel")
     x = task_block.fixed_residue
     y = task_block.inner_residue
     zp = u_block.inner_residue
 
-    cap = max(4, cfg.hashmap_slack * max(1, U.max_row_length()))
-    hm = BlockHashMap(cap)
-    out_i: list[np.ndarray] = []
-    out_j: list[np.ndarray] = []
-    out_k: list[np.ndarray] = []
-
-    l_indptr, l_indices = L.indptr, L.indices
-    t_indptr, t_indices = t.indptr, t.indices
-    row_iter = t.nonempty_rows if cfg.doubly_sparse else range(t.n_rows)
-    for j_local in row_iter:
-        j_local = int(j_local)
-        t_lo, t_hi = int(t_indptr[j_local]), int(t_indptr[j_local + 1])
-        if t_lo == t_hi:
-            continue
-        urow = U.row(j_local)
-        if len(urow) == 0:
-            continue
-        tcols = t_indices[t_lo:t_hi]
-        starts = l_indptr[tcols]
-        lens = (l_indptr[tcols + 1] - starts).astype(INDEX_DTYPE)
-        total = int(lens.sum())
-        if total == 0:
-            continue
-        from repro.core.arrayutil import multirange
-
-        gather = multirange(starts, lens)
-        vals = l_indices[gather]
-        probe_task = np.repeat(tcols, lens)
-        if cfg.early_stop:
-            keep = vals >= urow[0]
-            vals = vals[keep]
-            probe_task = probe_task[keep]
-        if len(vals) == 0:
-            continue
-        hm.build(urow, allow_fast=cfg.modified_hashing)
-        mask = hm.hit_mask(vals)
-        if not mask.any():
-            continue
-        k_loc = vals[mask]
-        i_loc = probe_task[mask]
-        out_i.append(i_loc * q + y)
-        out_j.append(np.full(len(k_loc), j_local * q + x, dtype=INDEX_DTYPE))
-        out_k.append(k_loc * q + zp)
-
-    if not out_i:
+    bname, _ = resolve_backend(
+        cfg.kernel_backend, task_block, u_block, l_block, cfg
+    )
+    j_loc, i_loc, k_loc = get_enumerator(bname)(
+        task_block, u_block, l_block, cfg
+    )
+    if len(j_loc) == 0:
         return 0, np.empty((0, 3), dtype=INDEX_DTYPE)
     triples = np.stack(
-        [np.concatenate(out_i), np.concatenate(out_j), np.concatenate(out_k)],
+        [
+            (i_loc * q + y).astype(INDEX_DTYPE),
+            (j_loc * q + x).astype(INDEX_DTYPE),
+            (k_loc * q + zp).astype(INDEX_DTYPE),
+        ],
         axis=1,
     )
     return len(triples), triples

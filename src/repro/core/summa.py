@@ -24,7 +24,7 @@ from repro.core.arrayutil import split_by_owner
 from repro.core.blocks import Block, build_block
 from repro.core.config import TC2DConfig
 from repro.core.counts import TriangleCountResult
-from repro.core.intersect import count_block_pair
+from repro.core.kernels import resolve_backend
 from repro.core.preprocess import (
     InputChunk,
     chunk_bounds,
@@ -140,6 +140,7 @@ def summa_rank_program(
     counters_ppt = dict(ctx.counters)
 
     local_count = 0
+    backend_uses: dict[str, int] = {}
     with ctx.phase("tct"):
         for t in range(T):
             u_root = t % pc
@@ -151,7 +152,11 @@ def summa_rank_program(
                 + l_blk.nbytes_estimate()
                 + task_block.nbytes_estimate()
             )
-            st = count_block_pair(task_block, u_blk, l_blk, cfg)
+            bname, kernel_fn = resolve_backend(
+                cfg.kernel_backend, task_block, u_blk, l_blk, cfg
+            )
+            st = kernel_fn(task_block, u_blk, l_blk, cfg)
+            backend_uses[bname] = backend_uses.get(bname, 0) + 1
             ctx.charge("row_visit", st.row_visits, working_set)
             ctx.charge("task", st.tasks, working_set)
             ctx.charge("hash_insert_fast", st.insert_steps_fast, working_set)
@@ -172,6 +177,7 @@ def summa_rank_program(
         "local": int(local_count),
         "counters_ppt": counters_ppt,
         "counters_tct": counters_tct,
+        "backend_uses": backend_uses,
     }
 
 
@@ -224,6 +230,12 @@ def count_triangles_summa(
         for k, v in r["counters_tct"].items():
             result.counters_tct[k] = result.counters_tct.get(k, 0.0) + v
     result.extras["makespan"] = run.makespan
+    result.extras["kernel_backend"] = cfg.kernel_backend
+    uses: dict[str, int] = {}
+    for r in rets:
+        for name, n in r["backend_uses"].items():
+            uses[name] = uses.get(name, 0) + n
+    result.extras["kernel_backend_uses"] = uses
     if keep_run or trace:
         result.extras["run"] = run
     return result

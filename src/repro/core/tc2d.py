@@ -26,7 +26,7 @@ from repro.core.blocks import exchange_block
 from repro.core.config import TC2DConfig
 from repro.core.counts import ShiftRecord, TriangleCountResult
 from repro.core.grid import ProcessorGrid
-from repro.core.intersect import count_block_pair
+from repro.core.kernels import resolve_backend
 from repro.core.preprocess import InputChunk, partition_1d, preprocess
 from repro.graph.csr import Graph
 from repro.simmpi import SUM, Engine, MachineModel, RunResult
@@ -69,6 +69,7 @@ def tc2d_rank_program(
     shift_records: list[tuple[int, float, int]] = []
     hash_builds = 0
     hash_fast_builds = 0
+    backend_uses: dict[str, int] = {}
     blob = cfg.blob_serialization
 
     with ctx.phase("tct"):
@@ -95,7 +96,13 @@ def tc2d_rank_program(
                 + task_block.nbytes_estimate()
             )
             t0 = ctx.clock.now
-            st = count_block_pair(task_block, u_block, l_block, cfg)
+            # Resolve per block pair so "auto" can pick differently shift
+            # by shift (block shapes change as operands travel the grid).
+            bname, kernel_fn = resolve_backend(
+                cfg.kernel_backend, task_block, u_block, l_block, cfg
+            )
+            st = kernel_fn(task_block, u_block, l_block, cfg)
+            backend_uses[bname] = backend_uses.get(bname, 0) + 1
             ctx.charge("row_visit", st.row_visits, working_set)
             ctx.charge("task", st.tasks, working_set)
             ctx.charge("hash_insert_fast", st.insert_steps_fast, working_set)
@@ -105,6 +112,11 @@ def tc2d_rank_program(
             local_count += st.triangles
             hash_builds += st.hash_builds
             hash_fast_builds += st.hash_fast_builds
+            if ctx.tracer.enabled:
+                ctx.tracer.span_point(
+                    t0, ctx.clock.now, ctx.rank, "compute",
+                    f"kernel:{bname}", shift=z, tasks=st.tasks,
+                )
             if cfg.track_per_shift:
                 shift_records.append((z, ctx.clock.now - t0, st.tasks))
 
@@ -136,6 +148,7 @@ def tc2d_rank_program(
         "shifts": shift_records,
         "hash_builds": hash_builds,
         "hash_fast_builds": hash_fast_builds,
+        "backend_uses": backend_uses,
     }
 
 
@@ -217,6 +230,12 @@ def count_triangles_2d(
     )
     result.extras["makespan"] = run.makespan
     result.extras["mem_peak_bytes"] = max(run.mem_peaks) if run.mem_peaks else 0
+    result.extras["kernel_backend"] = cfg.kernel_backend
+    uses: dict[str, int] = {}
+    for r in rets:
+        for name, n in r["backend_uses"].items():
+            uses[name] = uses.get(name, 0) + n
+    result.extras["kernel_backend_uses"] = uses
     if keep_run or trace:
         result.extras["run"] = run
     return result

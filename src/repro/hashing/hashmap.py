@@ -63,6 +63,20 @@ def _next_pow2(x: int) -> int:
     return p
 
 
+def fib_hash(keys: np.ndarray, shift: int) -> np.ndarray:
+    """Vectorized Fibonacci (multiplicative) hash to table slots.
+
+    ``shift`` is ``64 - log2(capacity)`` — use :attr:`BlockHashMap.shift`
+    so external probing loops (the batched kernel backend) land on the
+    same slots as the map itself.
+    """
+    with np.errstate(over="ignore"):
+        return (
+            (np.asarray(keys, dtype=np.int64).astype(np.uint64) * _FIB)
+            >> np.uint64(shift)
+        ).astype(np.int64)
+
+
 class BlockHashMap:
     """Reusable integer-key hash table sized for one block's rows.
 
@@ -119,20 +133,46 @@ class BlockHashMap:
 
         # Probed build: Fibonacci hash + linear probing.
         self._fast_mode = False
-        steps = 0
-        table, stamp, gen = self._table, self._stamp, self._gen
-        cap = self.capacity
-        shift = int(self._shift)
-        for key in keys.tolist():
-            pos = ((key * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF) >> shift
-            steps += 1
-            while stamp[pos] == gen:
-                pos = (pos + 1) % cap
-                steps += 1
-            table[pos] = key
-            stamp[pos] = gen
+        positions, steps = self.probed_layout(keys)
+        self._table[positions] = keys
+        self._stamp[positions] = self._gen
         self.stats.insert_steps += steps
         return False
+
+    def probed_layout(self, keys: np.ndarray) -> tuple[np.ndarray, int]:
+        """Final slot of each key and the logical step count of a probed
+        build of ``keys`` into an empty table, without touching the map.
+
+        This is the sequential insert-with-linear-probing walk itself —
+        :meth:`build` applies it to the live table, and the batched kernel
+        backend replays collision-prone rows through it so its counters
+        stay bit-identical to the row-wise reference.  The walk runs on a
+        plain Python set (a fresh generation starts from an empty table,
+        so only slots taken by this build block a probe) instead of numpy
+        scalar reads.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        n = len(keys)
+        cap = self.capacity
+        shift = int(self._shift)
+        slots = fib_hash(keys, shift)
+        if len(np.unique(slots)) == n:
+            # Pairwise-distinct initial slots: no insert ever lands on an
+            # occupied slot (regardless of order), so the walk is the
+            # identity and costs exactly one step per key.
+            return slots, n
+        steps = 0
+        occupied: set[int] = set()
+        positions: list[int] = []
+        for key, pos in zip(keys.tolist(), slots.tolist()):
+            steps += 1
+            while pos in occupied:
+                pos = (pos + 1) % cap
+                steps += 1
+            occupied.add(pos)
+            positions.append(pos)
+        idx = np.fromiter(positions, dtype=np.int64, count=n)
+        return idx, steps
 
     # -- querying -----------------------------------------------------------
 
@@ -232,6 +272,11 @@ class BlockHashMap:
         """Whether the current contents were built with the direct-mask
         fast path."""
         return self._fast_mode
+
+    @property
+    def shift(self) -> int:
+        """Right-shift of the Fibonacci hash (``64 - log2(capacity)``)."""
+        return int(self._shift)
 
     def __len__(self) -> int:
         return self._size

@@ -25,14 +25,21 @@ def profile_report(
     top_waits: int = 10,
     counters: bool = True,
     matrix: bool = False,
+    kernel_backend: str | None = None,
 ) -> str:
     """Render the full observability report of ``run`` as text.
 
     ``matrix`` additionally includes the dense rank-to-rank message
-    matrix (readable up to a few dozen ranks).
+    matrix (readable up to a few dozen ranks).  ``kernel_backend`` is a
+    free-form label of the intersection-kernel backend that produced the
+    run (e.g. ``"auto (batch×36, row×12)"``), prepended as a
+    header line when given.
     """
     metrics = RunMetrics.from_run(run)
-    parts = [metrics.phase_table()]
+    parts = []
+    if kernel_backend:
+        parts.append(f"kernel backend: {kernel_backend}")
+    parts.append(metrics.phase_table())
     if counters and metrics.counters:
         parts.append(metrics.counter_table())
 

@@ -72,6 +72,45 @@ def test_from_blob_validates():
         Block.from_blob(blob[:-1])  # truncated indices
 
 
+def test_from_blob_is_zero_copy():
+    """Deserialization views the blob instead of copying it — the arrays
+    of the reconstructed block share memory with the wire buffer."""
+    b = make_block()
+    blob = b.to_blob()
+    b2 = Block.from_blob(blob)
+    assert np.shares_memory(b2.dcsr.csr.indptr, blob)
+    assert np.shares_memory(b2.dcsr.csr.indices, blob)
+    # and to_blob never aliases its source block
+    assert not np.shares_memory(blob, b.dcsr.csr.indices)
+
+
+def test_exchange_block_sender_mutation_safe():
+    """Zero-copy deserialization must not let a sender's later writes
+    reach the receiver: to_blob packs into a fresh buffer, so mutating
+    the original block after the exchange leaves the received one alone."""
+
+    def program(ctx):
+        comm = ctx.comm
+        b = build_block(
+            "U-row",
+            fixed_residue=ctx.rank,
+            inner_residue=ctx.rank,
+            n_outer=3,
+            n_inner=9,
+            outer_local=np.array([0, 1]),
+            inner_local=np.array([ctx.rank, ctx.rank + 2]),
+        )
+        dest = src = (ctx.rank + 1) % 2
+        got = exchange_block(comm, b, dest, src, blob=True, tag=7)
+        before = got.dcsr.csr.indices.copy()
+        b.dcsr.csr.indices[:] = -99  # sender clobbers its own block
+        comm.barrier()
+        return np.array_equal(got.dcsr.csr.indices, before)
+
+    res = Engine(2).run(program)
+    assert all(res.returns)
+
+
 @pytest.mark.parametrize("blob", [True, False])
 def test_exchange_block_ring(blob):
     """Blocks passed around a 4-rank ring return their metadata intact and
