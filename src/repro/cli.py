@@ -17,6 +17,13 @@ Commands
 ``bench``
     Regenerate one of the paper's tables/figures
     (table1..table6, fig1, fig2, fig3, ablations).
+``chaos``
+    Seeded fault-injection sweep with checkpoint/restart recovery
+    (forwards to ``python -m repro.resilience.chaos``).
+
+One ``--seed`` governs everything derived from randomness: the scaled
+dataset generators (via ``--seed`` on ``count``/``profile``/``census``),
+the kernels (via ``TC2DConfig.seed``) and the chaos fault plans.
 
 ``count`` and ``profile`` also accept ``--trace FILE`` to export a
 Perfetto-loadable Chrome trace-event JSON of the run.
@@ -95,6 +102,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         early_stop=not args.no_early_stop,
         blob_serialization=not args.no_blob,
         kernel_backend=args.kernel,
+        seed=args.seed,
     )
     if args.algorithm == "tc2d":
         res = count_triangles_2d(
@@ -177,7 +185,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     spec = _dataset_spec(args)
     g = _load_graph(spec, args.seed)
-    cfg = TC2DConfig(kernel_backend=args.kernel)
+    cfg = TC2DConfig(kernel_backend=args.kernel, seed=args.seed)
     if args.algorithm == "tc2d":
         res = count_triangles_2d(
             g, args.ranks, cfg=cfg, model=paper_model(), trace=True, dataset=spec
@@ -217,6 +225,23 @@ def _cmd_census(args: argparse.Namespace) -> int:
             f"  degree={int(g.degrees[v])}"
         )
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Delegate to the chaos harness (same as ``python -m
+    repro.resilience.chaos``) so the fault-injection sweep is reachable
+    from the main CLI with the shared ``--seed`` convention.
+
+    Dispatched directly from :func:`main` (before argparse) because
+    ``nargs=REMAINDER`` after a subparser mis-parses leading ``--flags``;
+    this handler only runs for ``repro chaos --help``-style discovery.
+    """
+    from repro.resilience.chaos import main as chaos_main
+
+    forwarded = args.chaos_args
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return chaos_main(forwarded)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -342,6 +367,18 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(fn=_cmd_census)
 
+    ch = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection sweep with checkpoint/restart recovery",
+        description="All arguments are forwarded to "
+        "`python -m repro.resilience.chaos` (see its --help).",
+    )
+    ch.add_argument(
+        "chaos_args", nargs=argparse.REMAINDER,
+        help="arguments for the chaos harness (e.g. --smoke --out DIR)",
+    )
+    ch.set_defaults(fn=_cmd_chaos)
+
     b = sub.add_parser("bench", help="regenerate a paper table/figure")
     b.add_argument(
         "experiment",
@@ -353,6 +390,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "chaos":
+        # Forward verbatim (see _cmd_chaos for why argparse is bypassed).
+        from repro.resilience.chaos import main as chaos_main
+
+        rest = argv[1:]
+        if rest and rest[0] == "--":
+            rest = rest[1:]
+        return chaos_main(rest)
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

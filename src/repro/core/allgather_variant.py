@@ -99,15 +99,22 @@ def count_triangles_2d_allgather(
     cfg: TC2DConfig | None = None,
     model: MachineModel | None = None,
     dataset: str = "",
+    trace: bool = False,
+    keep_run: bool = False,
 ) -> TriangleCountResult:
     """Run the rejected collect-first formulation (for comparison only).
 
     Returns the same result record as the Cannon driver;
     ``extras["mem_peak_bytes"]`` is where the two designs differ.
+    ``trace``/``keep_run`` behave as in
+    :func:`~repro.core.tc2d.count_triangles_2d`: the raw traced
+    :class:`~repro.simmpi.engine.RunResult` lands in ``extras["run"]`` so
+    the same span/byte accounting (and Perfetto export) works for both
+    variants.
     """
     cfg = cfg if cfg is not None else TC2DConfig()
     chunks = partition_1d(graph, p)
-    engine = Engine(p, model=model)
+    engine = Engine(p, model=model, trace=trace)
     run = engine.run(tc2d_allgather_rank_program, chunks, cfg)
     rets = run.returns
     count = rets[0]["total"]
@@ -129,4 +136,6 @@ def count_triangles_2d_allgather(
     result.counters_tct = merge_counters([r["counters_tct"] for r in rets])
     result.extras["makespan"] = run.makespan
     result.extras["mem_peak_bytes"] = max(run.mem_peaks) if run.mem_peaks else 0
+    if keep_run or trace:
+        result.extras["run"] = run
     return result

@@ -19,16 +19,29 @@ the optimization is disabled.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.graph.csr import CSR, INDEX_DTYPE
 from repro.graph.dcsr import DCSR
+from repro.simmpi.errors import BlobChecksumError
 
 _KIND_CODES = {"U-row": 0, "L-col": 1, "task": 2}
 _KIND_NAMES = {v: k for k, v in _KIND_CODES.items()}
-_HEADER_LEN = 6
+_HEADER_LEN = 7
+
+
+def blob_payload_crc32(indptr: np.ndarray, indices: np.ndarray) -> int:
+    """crc32 over a block's payload arrays (indptr then indices).
+
+    Computed over the raw int64 buffer bytes, so the value is stable
+    across processes and restarts — checkpoint manifests record it and
+    :meth:`Block.from_blob` verifies it on every deserialization.
+    """
+    crc = zlib.crc32(np.ascontiguousarray(indptr, dtype=INDEX_DTYPE).data)
+    return zlib.crc32(np.ascontiguousarray(indices, dtype=INDEX_DTYPE).data, crc)
 
 
 @dataclass
@@ -72,9 +85,12 @@ class Block:
     def to_blob(self) -> np.ndarray:
         """Pack the block into one contiguous int64 buffer.
 
-        Layout: [kind, fixed_residue, inner_residue, n_rows, n_cols, nnz]
-        ++ indptr ++ indices.  The non-empty-row list is recomputed on
-        arrival (cheaper than shipping it).
+        Layout: [kind, fixed_residue, inner_residue, n_rows, n_cols, nnz,
+        crc32] ++ indptr ++ indices.  The crc32 covers the payload arrays,
+        so a blob corrupted on the (simulated) wire or on disk fails loudly
+        in :meth:`from_blob` instead of silently skewing counts.  The
+        non-empty-row list is recomputed on arrival (cheaper than shipping
+        it).
         """
         csr = self.dcsr.csr
         header = np.array(
@@ -85,6 +101,7 @@ class Block:
                 csr.n_rows,
                 csr.n_cols,
                 csr.nnz,
+                blob_payload_crc32(csr.indptr, csr.indices),
             ],
             dtype=INDEX_DTYPE,
         )
@@ -101,11 +118,15 @@ class Block:
         only burn memory bandwidth on the hot shift path.  Callers that
         deserialize a buffer they intend to keep mutating must pass
         ``blob.copy()`` themselves.
+
+        The header crc32 is verified against the payload (one C-speed pass,
+        no copy); a mismatch raises
+        :class:`~repro.simmpi.errors.BlobChecksumError`.
         """
         blob = np.asarray(blob, dtype=INDEX_DTYPE)
         if len(blob) < _HEADER_LEN:
             raise ValueError("blob too short for a block header")
-        kind_code, fixed, inner, n_rows, n_cols, nnz = (
+        kind_code, fixed, inner, n_rows, n_cols, nnz, crc = (
             int(x) for x in blob[:_HEADER_LEN]
         )
         if kind_code not in _KIND_NAMES:
@@ -115,6 +136,9 @@ class Block:
         indices = blob[indptr_end : indptr_end + nnz]
         if len(indices) != nnz:
             raise ValueError("blob truncated: indices shorter than header claims")
+        actual = blob_payload_crc32(indptr, indices)
+        if actual != crc:
+            raise BlobChecksumError(expected=crc, actual=actual)
         return cls(
             kind=_KIND_NAMES[kind_code],
             fixed_residue=fixed,

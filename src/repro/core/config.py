@@ -64,6 +64,11 @@ class TC2DConfig:
         counts, counters and virtual time — only wall time differs.
     track_per_shift:
         Record per-shift compute spans (Table 3) — small overhead.
+    seed:
+        Master random seed for the run.  The CLI threads its single
+        ``--seed`` flag here; graph generators, any randomized kernel
+        choices and the resilience layer's fault plans all derive their
+        streams from it, so one integer reproduces an entire chaos run.
     """
 
     enumeration: str = "jik"
@@ -76,6 +81,7 @@ class TC2DConfig:
     hashmap_slack: float = 1
     kernel_backend: str = "auto"
     track_per_shift: bool = True
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.enumeration not in ENUMERATIONS:

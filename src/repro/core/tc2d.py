@@ -39,17 +39,44 @@ _TAG_SHIFT_L = 130
 
 
 def tc2d_rank_program(
-    ctx: RankContext, chunks: list[InputChunk], cfg: TC2DConfig
+    ctx: RankContext,
+    chunks: list[InputChunk],
+    cfg: TC2DConfig,
+    resilience: Any = None,
 ) -> dict[str, Any]:
     """SPMD program executed by every rank (public for tests/examples that
-    want to run it on a custom engine)."""
+    want to run it on a custom engine).
+
+    ``resilience`` (optional) is a
+    :class:`~repro.resilience.recovery.ResilienceContext`: when provided,
+    the rank restores its state from the latest complete checkpoint epoch
+    (skipping preprocessing and the skew entirely) and snapshots its
+    travelling blocks + partial count at every shift-step boundary, so a
+    later attempt can resume mid-Cannon-rotation.  Named fault points
+    (``"shift:z"``, ``"shift:z:exchange"``) are declared each step for the
+    engine's fault injector.
+    """
     comm = ctx.comm
     grid = ProcessorGrid.for_ranks(comm.size)
     q = grid.q
     chunk = chunks[ctx.rank]
 
+    snap = resilience.restore_snapshot(ctx.rank) if resilience is not None else None
+    restored_count = 0
+    start_z = 0
     with ctx.phase("ppt"):
-        u_block, l_block, task_block = preprocess(ctx, chunk, grid, cfg)
+        if snap is None:
+            u_block, l_block, task_block = preprocess(ctx, chunk, grid, cfg)
+        else:
+            # Restart path: the checkpoint replaces preprocessing.  The
+            # blob deserialization checksum-verifies every block; the
+            # residue assertion in the counting loop then proves the
+            # restored operands sit exactly where the fault-free schedule
+            # would have them.
+            u_block, l_block, task_block = snap.blocks()
+            restored_count = snap.local_count
+            start_z = snap.epoch
+            ctx.charge("checkpoint_io", snap.nbytes)
         for blk in (u_block, l_block, task_block):
             ctx.alloc_mem(blk.nbytes_estimate())
         comm.barrier()
@@ -65,7 +92,7 @@ def tc2d_rank_program(
         return new
 
     x, y = grid.coords(ctx.rank)
-    local_count = 0
+    local_count = restored_count
     shift_records: list[tuple[int, float, int]] = []
     hash_builds = 0
     hash_fast_builds = 0
@@ -73,17 +100,23 @@ def tc2d_rank_program(
     blob = cfg.blob_serialization
 
     with ctx.phase("tct"):
-        if q > 1:
-            du, su = grid.skew_u(x, y)
-            u_block = swap(
-                u_block, exchange_block(comm, u_block, du, su, blob, _TAG_SKEW_U)
-            )
-            dl, sl = grid.skew_l(x, y)
-            l_block = swap(
-                l_block, exchange_block(comm, l_block, dl, sl, blob, _TAG_SKEW_L)
-            )
+        if snap is None:
+            if q > 1:
+                du, su = grid.skew_u(x, y)
+                u_block = swap(
+                    u_block,
+                    exchange_block(comm, u_block, du, su, blob, _TAG_SKEW_U),
+                )
+                dl, sl = grid.skew_l(x, y)
+                l_block = swap(
+                    l_block,
+                    exchange_block(comm, l_block, dl, sl, blob, _TAG_SKEW_L),
+                )
+            if resilience is not None:
+                resilience.save(ctx, 0, local_count, u_block, l_block, task_block)
 
-        for z in range(q):
+        for z in range(start_z, q):
+            ctx.fault_point(f"shift:{z}")
             expected = grid.operand_residue(x, y, z)
             if u_block.inner_residue != expected:
                 raise AssertionError(
@@ -121,6 +154,7 @@ def tc2d_rank_program(
                 shift_records.append((z, ctx.clock.now - t0, st.tasks))
 
             if z < q - 1:
+                ctx.fault_point(f"shift:{z}:exchange")
                 du, su = grid.shift_u(x, y)
                 u_block = swap(
                     u_block,
@@ -130,6 +164,22 @@ def tc2d_rank_program(
                 l_block = swap(
                     l_block,
                     exchange_block(comm, l_block, dl, sl, blob, _TAG_SHIFT_L),
+                )
+                # Validate the incoming operands *before* any checkpoint
+                # snapshot: a stale block (e.g. from an injected duplicate
+                # delivery) must abort the step, not poison the on-disk
+                # state a restart would restore from.
+                nxt = grid.operand_residue(x, y, z + 1)
+                if u_block.inner_residue != nxt or l_block.inner_residue != nxt:
+                    raise AssertionError(
+                        f"rank {ctx.rank} step {z}: exchange delivered blocks "
+                        f"with residues (U={u_block.inner_residue}, "
+                        f"L={l_block.inner_residue}), expected {nxt} "
+                        "(stale or misrouted delivery)"
+                    )
+            if resilience is not None:
+                resilience.save(
+                    ctx, z + 1, local_count, u_block, l_block, task_block
                 )
 
         total = comm.allreduce(local_count, SUM)
@@ -201,7 +251,24 @@ def count_triangles_2d(
     chunks = partition_1d(graph, p)
     engine = Engine(p, model=model, trace=trace)
     run: RunResult = engine.run(tc2d_rank_program, chunks, cfg)
+    return assemble_tc2d_result(
+        run, p, cfg, dataset=dataset, keep_run=keep_run or trace
+    )
 
+
+def assemble_tc2d_result(
+    run: RunResult,
+    p: int,
+    cfg: TC2DConfig,
+    dataset: str = "",
+    keep_run: bool = False,
+) -> TriangleCountResult:
+    """Build the :class:`TriangleCountResult` record from a finished run.
+
+    Shared by :func:`count_triangles_2d` and the resilience layer's
+    restarting driver (which assembles the record from the first
+    *successful* attempt, possibly one that resumed from a checkpoint).
+    """
     rets = run.returns
     count = rets[0]["total"]
     if any(r["total"] != count for r in rets):
@@ -236,6 +303,6 @@ def count_triangles_2d(
         for name, n in r["backend_uses"].items():
             uses[name] = uses.get(name, 0) + n
     result.extras["kernel_backend_uses"] = uses
-    if keep_run or trace:
+    if keep_run:
         result.extras["run"] = run
     return result

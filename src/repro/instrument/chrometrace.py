@@ -11,7 +11,9 @@ the trace clock.
 * each delivered message becomes a flow arrow (``"s"``/``"f"`` flow
   events bound to the send and matching receive), so Perfetto draws
   Cannon's shift pattern as arrows between rank tracks;
-* collective summary events become ``"i"`` instant events.
+* collective summary events become ``"i"`` instant events;
+* injected-fault and checkpoint events (the resilience subsystem) become
+  labeled ``"i"`` instant events (``cat`` ``"fault"`` / ``"ckpt"``).
 
 Export is fully deterministic: events are emitted in a fixed order and
 serialized with sorted keys, so two identical runs produce byte-identical
@@ -134,6 +136,32 @@ def chrome_trace(run: "RunResult") -> dict[str, Any]:
                     "name": str(e.detail.get("op", "collective")),
                     "cat": "collective",
                     "args": {"nbytes": e.detail.get("nbytes", 0)},
+                }
+            )
+        elif e.kind == "fault":
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "g",  # global scope: a fault is a run-wide incident
+                    "pid": _PID,
+                    "tid": e.rank,
+                    "ts": e.t * _US,
+                    "name": f"fault:{e.detail.get('fault', '?')}",
+                    "cat": "fault",
+                    "args": _span_args(e.detail),
+                }
+            )
+        elif e.kind == "checkpoint":
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": e.rank,
+                    "ts": e.t * _US,
+                    "name": f"checkpoint:{e.detail.get('epoch', '?')}",
+                    "cat": "ckpt",
+                    "args": _span_args(e.detail),
                 }
             )
 

@@ -1,0 +1,352 @@
+"""Deterministic, seeded fault plans and the engine-side injector.
+
+A :class:`FaultPlan` is a schedule of :class:`FaultSpec` entries — the
+*what*, *who* and *when* of every fault a run will suffer.  Plans are pure
+data: they serialize to JSON for chaos-run artifacts, and
+:meth:`FaultPlan.random` derives a whole schedule from one integer seed, so
+any chaos failure reproduces from a single number.
+
+The :class:`FaultInjector` wraps a plan and implements the duck-typed
+protocol the :class:`~repro.simmpi.engine.Engine` consults:
+
+* :meth:`FaultInjector.on_send` for every wire message (drop / delay /
+  dup / corrupt);
+* :meth:`FaultInjector.at_point` at named execution sites — phase
+  boundaries (``"phase:ppt"``, ``"phase:tct"``) and Cannon shift steps
+  (``"shift:3"``, ``"shift:3:exchange"``) — for stall / crash.
+
+Faults are **one-shot**: each spec fires at most once per plan, modelling
+transient failures.  The injector survives restarts (the recovery driver
+reuses it across attempts), so a fault that already crashed one attempt
+does not crash the retry; per-attempt occurrence counters reset via
+:meth:`FaultInjector.new_attempt`.
+
+Corruption targets the single-buffer block blobs (``tag`` filters default
+to the skew/shift tags): the payload is copied and one int64 beyond the
+header is flipped, which the crc32 added to the blob wire format converts
+from silent count skew into a typed
+:class:`~repro.simmpi.errors.BlobChecksumError`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+import numpy as np
+
+#: Fault kinds that perturb one wire message (matched in ``on_send``).
+MESSAGE_FAULT_KINDS = ("drop", "delay", "dup", "corrupt")
+#: Fault kinds that strike a rank at a named execution site.
+POINT_FAULT_KINDS = ("stall", "crash")
+
+#: The user tags the Cannon skew/shift exchanges use (see ``core.tc2d``);
+#: random plans restrict ``corrupt`` faults to these so corruption lands on
+#: crc-protected blob traffic instead of silently skewing preprocessing.
+BLOB_TAGS = (100, 110, 120, 130)
+
+#: XOR mask applied to one payload element by ``corrupt`` faults.
+_CORRUPT_MASK = 0x5A5A5A5A
+
+#: Blob header length (mirrors ``repro.core.blocks._HEADER_LEN``); kept
+#: here as a plain constant so corruption flips a *payload* element and the
+#: header stays parseable (the crc check is what must catch it).
+_BLOB_HEADER_LEN = 7
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`MESSAGE_FAULT_KINDS` or :data:`POINT_FAULT_KINDS`.
+    rank:
+        World rank whose action triggers the fault (the *sender* for
+        message faults).
+    site:
+        Execution-site name for point faults (``"phase:tct"``,
+        ``"shift:2"``, ``"shift:2:exchange"``); must be ``None`` for
+        message faults.
+    nth:
+        Fire on the nth matching occurrence (0-based) within one attempt.
+    tag:
+        Message faults only: restrict matching to sends with this user
+        tag (``None`` matches any tag).
+    delay:
+        Extra seconds of wire latency (``delay``) or of rank compute
+        (``stall``).
+    """
+
+    kind: str
+    rank: int
+    site: str | None = None
+    nth: int = 0
+    tag: int | None = None
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind in MESSAGE_FAULT_KINDS:
+            if self.site is not None:
+                raise ValueError(
+                    f"message fault {self.kind!r} must not name a site"
+                )
+        elif self.kind in POINT_FAULT_KINDS:
+            if not self.site:
+                raise ValueError(f"point fault {self.kind!r} needs a site")
+        else:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.nth < 0:
+            raise ValueError("nth must be >= 0")
+        if self.kind in ("delay", "stall") and self.delay <= 0:
+            raise ValueError(f"{self.kind} fault needs a positive delay")
+
+    def describe(self) -> str:
+        """One-line human-readable form for reports and logs."""
+        where = self.site if self.site else (
+            f"send#{self.nth}" + (f" tag={self.tag}" if self.tag is not None else "")
+        )
+        extra = f" (+{self.delay:g}s)" if self.delay else ""
+        return f"{self.kind}@rank{self.rank}:{where}{extra}"
+
+
+@dataclass
+class FaultAction:
+    """Injector verdict handed back to the engine for one consultation."""
+
+    kind: str
+    delay: float = 0.0
+    payload: Any = None
+
+
+@dataclass
+class FiredFault:
+    """Record of one spec having fired (kept for reports/assertions)."""
+
+    spec: FaultSpec
+    attempt: int
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class FaultPlan:
+    """An ordered, seeded schedule of faults.
+
+    Parameters
+    ----------
+    faults:
+        The :class:`FaultSpec` entries, in priority order (at most one
+        fault fires per engine consultation; earlier specs win).
+    seed:
+        The seed the plan was derived from (carried for reporting; the
+        specs themselves are already concrete).
+    """
+
+    def __init__(self, faults: list[FaultSpec] | tuple[FaultSpec, ...] = (),
+                 seed: int | None = None):
+        self.faults = list(faults)
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def describe(self) -> str:
+        head = f"FaultPlan(seed={self.seed}, {len(self.faults)} faults)"
+        return "\n".join([head] + [f"  {s.describe()}" for s in self.faults])
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Deterministic JSON form (chaos artifacts embed this)."""
+        return json.dumps(
+            {"seed": self.seed, "faults": [asdict(s) for s in self.faults]},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        doc = json.loads(text)
+        return cls(
+            faults=[FaultSpec(**f) for f in doc["faults"]],
+            seed=doc.get("seed"),
+        )
+
+    # -- seeded generation --------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        p: int,
+        q: int,
+        n_faults: int = 3,
+        kinds: tuple[str, ...] = MESSAGE_FAULT_KINDS + POINT_FAULT_KINDS,
+        max_crashes: int = 2,
+        stall_seconds: float = 0.005,
+        delay_seconds: float = 0.002,
+    ) -> "FaultPlan":
+        """Derive a deterministic schedule from one integer seed.
+
+        ``p``/``q`` bound the rank and shift-step choices.  Crash faults
+        are capped at ``max_crashes`` so the recovery driver's restart
+        budget stays bounded by construction (each crash costs at most one
+        restart; drops and corruptions cost at most one each as well).
+        """
+        for k in kinds:
+            if k not in MESSAGE_FAULT_KINDS + POINT_FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {k!r}")
+        rng = np.random.default_rng(seed)
+        sites = [f"phase:{name}" for name in ("ppt", "tct")]
+        sites += [f"shift:{z}" for z in range(q)]
+        sites += [f"shift:{z}:exchange" for z in range(max(0, q - 1))]
+        specs: list[FaultSpec] = []
+        crashes = 0
+        while len(specs) < n_faults:
+            kind = str(rng.choice(list(kinds)))
+            if kind == "crash":
+                if crashes >= max_crashes:
+                    continue
+                crashes += 1
+            rank = int(rng.integers(p))
+            if kind in MESSAGE_FAULT_KINDS:
+                tag = (
+                    int(rng.choice(BLOB_TAGS))
+                    if kind == "corrupt"
+                    else (int(rng.choice(BLOB_TAGS)) if rng.random() < 0.5 else None)
+                )
+                specs.append(
+                    FaultSpec(
+                        kind=kind,
+                        rank=rank,
+                        nth=int(rng.integers(max(1, q))),
+                        tag=tag,
+                        delay=delay_seconds if kind == "delay" else 0.0,
+                    )
+                )
+            else:
+                specs.append(
+                    FaultSpec(
+                        kind=kind,
+                        rank=rank,
+                        site=str(rng.choice(sites)),
+                        delay=stall_seconds if kind == "stall" else 0.0,
+                    )
+                )
+        return cls(specs, seed=seed)
+
+
+class FaultInjector:
+    """Stateful executor of a :class:`FaultPlan` for the engine.
+
+    One injector is shared across all restart attempts of a recovery run:
+    fired specs stay fired (transient-fault semantics), while per-attempt
+    occurrence counters reset in :meth:`new_attempt`.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.fired: list[FiredFault] = []
+        self._fired_idx: set[int] = set()
+        self._attempt = 0
+        self._send_seen: list[int] = [0] * len(plan.faults)
+        self._point_seen: list[int] = [0] * len(plan.faults)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def new_attempt(self) -> None:
+        """Reset per-attempt occurrence counters (fired specs stay fired)."""
+        self._attempt += 1
+        self._send_seen = [0] * len(self.plan.faults)
+        self._point_seen = [0] * len(self.plan.faults)
+
+    @property
+    def remaining(self) -> int:
+        """Specs that have not fired yet."""
+        return len(self.plan.faults) - len(self._fired_idx)
+
+    def fired_by_kind(self) -> dict[str, int]:
+        """Histogram of fired fault kinds (for reports)."""
+        out: dict[str, int] = {}
+        for f in self.fired:
+            out[f.spec.kind] = out.get(f.spec.kind, 0) + 1
+        return out
+
+    def _fire(self, idx: int, **detail: Any) -> FaultSpec:
+        self._fired_idx.add(idx)
+        spec = self.plan.faults[idx]
+        self.fired.append(
+            FiredFault(spec=spec, attempt=self._attempt, detail=detail)
+        )
+        return spec
+
+    # -- engine protocol ----------------------------------------------------
+
+    def on_send(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        comm_id: Any,
+        nbytes: int,
+        payload: Any,
+    ) -> FaultAction | None:
+        """Consulted by ``Engine.post_send`` for every wire message."""
+        for i, spec in enumerate(self.plan.faults):
+            if spec.kind not in MESSAGE_FAULT_KINDS or i in self._fired_idx:
+                continue
+            if spec.rank != src:
+                continue
+            if spec.tag is not None and spec.tag != tag:
+                continue
+            if spec.kind == "corrupt" and not _corruptible(payload):
+                continue
+            self._send_seen[i] += 1
+            if self._send_seen[i] - 1 != spec.nth:
+                continue
+            self._fire(i, src=src, dst=dst, tag=tag, nbytes=nbytes)
+            if spec.kind == "corrupt":
+                return FaultAction("corrupt", payload=_corrupted(payload))
+            return FaultAction(spec.kind, delay=spec.delay)
+        return None
+
+    def at_point(self, rank: int, site: str) -> FaultAction | None:
+        """Consulted by ``RankContext.fault_point`` at named sites."""
+        for i, spec in enumerate(self.plan.faults):
+            if spec.kind not in POINT_FAULT_KINDS or i in self._fired_idx:
+                continue
+            if spec.rank != rank or spec.site != site:
+                continue
+            self._point_seen[i] += 1
+            if self._point_seen[i] - 1 != spec.nth:
+                continue
+            self._fire(i, site=site)
+            return FaultAction(spec.kind, delay=spec.delay)
+        return None
+
+
+def _corruptible(payload: Any) -> bool:
+    """Only flat int64 buffers longer than the blob header are targets —
+    i.e. the block blobs whose crc32 makes the corruption detectable."""
+    return (
+        isinstance(payload, np.ndarray)
+        and payload.ndim == 1
+        and payload.dtype.kind == "i"
+        and len(payload) > _BLOB_HEADER_LEN
+    )
+
+
+def _corrupted(payload: np.ndarray) -> np.ndarray:
+    """Copy ``payload`` and flip one element in the middle of its body.
+
+    The header is left intact so deserialization reaches the checksum
+    check — the failure mode under test is *payload* corruption that only
+    the crc32 can see.
+    """
+    out = payload.copy()
+    idx = _BLOB_HEADER_LEN + (len(out) - _BLOB_HEADER_LEN) // 2
+    out[idx] ^= _CORRUPT_MASK
+    return out

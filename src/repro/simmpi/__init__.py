@@ -33,9 +33,12 @@ from repro.simmpi.clock import PhaseStats, RankClock
 from repro.simmpi.comm import ANY_SOURCE, ANY_TAG, Comm
 from repro.simmpi.engine import Engine, RankContext, RunResult
 from repro.simmpi.errors import (
+    BlobChecksumError,
     CollectiveMismatchError,
     DeadlockError,
+    RankCrashError,
     RankFailedError,
+    ResilienceExhaustedError,
     SimMPIError,
 )
 from repro.simmpi.reduceops import BAND, BOR, MAX, MIN, PROD, SUM, ReduceOp
@@ -45,6 +48,7 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "BAND",
+    "BlobChecksumError",
     "BOR",
     "CacheModel",
     "CollectiveMismatchError",
@@ -58,8 +62,10 @@ __all__ = [
     "PROD",
     "RankClock",
     "RankContext",
+    "RankCrashError",
     "RankFailedError",
     "ReduceOp",
+    "ResilienceExhaustedError",
     "RunResult",
     "SimMPIError",
     "Span",

@@ -46,6 +46,8 @@ DEFAULT_RATES: dict[str, float] = {
     # wedge-based baselines (HavoqGT-style)
     "wedge_gen": 250e6,  # emitting one directed wedge
     "edge_check": 120e6,  # one remote-edge closure lookup
+    # resilience: checkpoint serialization to local storage, bytes/second
+    "checkpoint_io": 1.5e9,
     # generic
     "op": 200e6,
 }

@@ -26,7 +26,12 @@ from typing import Any, Callable, Iterator
 from repro.simmpi.clock import PhaseStats, RankClock
 from repro.simmpi.comm import ANY_SOURCE, ANY_TAG, Comm
 from repro.simmpi.costmodel import MachineModel, payload_nbytes
-from repro.simmpi.errors import DeadlockError, RankFailedError, SimMPIError
+from repro.simmpi.errors import (
+    DeadlockError,
+    RankCrashError,
+    RankFailedError,
+    SimMPIError,
+)
 from repro.simmpi.tracing import Tracer
 
 _NEW, _READY, _RUNNING, _BLOCKED, _FINISHED, _FAILED = range(6)
@@ -196,9 +201,53 @@ class RankContext:
                 t0, self.clock.now, self.rank, "compute", kind, count=count
             )
 
+    def fault_point(self, site: str) -> None:
+        """Consult the engine's fault injector at a named execution site.
+
+        Rank programs call this at phase boundaries and shift steps (the
+        engine itself calls it at every :meth:`phase` begin) so a seeded
+        :class:`~repro.resilience.faults.FaultPlan` can stall or crash the
+        rank there.  A no-op (one attribute check) when no injector is
+        installed.  Injected stalls advance the virtual clock; injected
+        crashes raise :class:`RankCrashError`, which surfaces on the driver
+        as a :class:`RankFailedError` for the recovery layer to catch.
+        """
+        inj = self.engine.faults
+        if inj is None:
+            return
+        act = inj.at_point(self.rank, site)
+        if act is None:
+            return
+        tr = self.engine.tracer
+        if act.kind == "stall":
+            t0 = self.clock.now
+            self.clock.advance_compute(act.delay)
+            if tr.enabled:
+                tr.emit(
+                    self.clock.now, self.rank, "fault", fault="stall",
+                    site=site, delay=act.delay,
+                )
+                tr.span_point(
+                    t0, self.clock.now, self.rank, "fault", "fault:stall",
+                    site=site,
+                )
+        elif act.kind == "crash":
+            if tr.enabled:
+                tr.emit(
+                    self.clock.now, self.rank, "fault", fault="crash", site=site
+                )
+                tr.span_point(
+                    self.clock.now, self.clock.now, self.rank, "fault",
+                    "fault:crash", site=site,
+                )
+            raise RankCrashError(self.rank, site)
+        else:  # pragma: no cover - plan validation rejects other kinds
+            raise SimMPIError(f"unknown point-fault kind {act.kind!r}")
+
     @contextmanager
     def phase(self, name: str) -> Iterator[PhaseStats]:
         """Scope a named timing phase (nestable)."""
+        self.fault_point(f"phase:{name}")
         tr = self.engine.tracer
         ph = self.clock.phase_begin(name)
         span = None
@@ -229,6 +278,24 @@ class Engine:
         Real (wall-clock) seconds the scheduler will wait for a rank thread
         to respond before declaring the run wedged.  This is a safety net
         for engine bugs, not part of the simulation.
+    fault_injector:
+        Optional deterministic fault injector (duck-typed; see
+        :class:`~repro.resilience.faults.FaultInjector` for the reference
+        implementation).  The engine consults it at two kinds of site:
+
+        * ``on_send(src, dst, tag, comm_id, nbytes, payload)`` for every
+          wire message; a returned action with ``kind`` ``"drop"``,
+          ``"delay"`` (extra ``action.delay`` seconds of wire latency),
+          ``"dup"`` (deliver twice) or ``"corrupt"`` (deliver
+          ``action.payload`` instead) perturbs the delivery;
+        * ``at_point(rank, site)`` at named execution sites
+          (:meth:`RankContext.fault_point`); ``"stall"`` advances the
+          rank's clock by ``action.delay``, ``"crash"`` raises
+          :class:`RankCrashError`.
+
+        Every injected fault is emitted through the tracer as a ``"fault"``
+        event plus a ``cat="fault"`` span, so faults are visible in the
+        Perfetto export and attributable in the comm matrix.
     """
 
     def __init__(
@@ -237,6 +304,7 @@ class Engine:
         model: MachineModel | None = None,
         trace: bool = False,
         real_timeout: float = 600.0,
+        fault_injector: Any = None,
     ):
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
@@ -244,6 +312,7 @@ class Engine:
         self.model = model if model is not None else MachineModel()
         self.tracer = Tracer(enabled=trace)
         self.real_timeout = real_timeout
+        self.faults = fault_injector
         self._states: list[_RankState] = []
         self._ctxs: list[RankContext] = []
         self._sched_evt = threading.Event()
@@ -415,18 +484,48 @@ class Engine:
         ctx.clock.advance_comm(self.model.send_overhead + self.model.beta * nbytes)
         arrival = ctx.clock.now + self.model.alpha
         seq = next(self._seq)
-        msg = _Message(
-            seq=seq,
-            src=src,
-            dst=dst,
-            tag=tag,
-            comm_id=comm_id,
-            payload=payload,
-            nbytes=nbytes,
-            arrival=arrival,
+        copies = 1
+        fault = (
+            self.faults.on_send(src, dst, tag, comm_id, nbytes, payload)
+            if self.faults is not None
+            else None
         )
+        if fault is not None:
+            # The sender already paid its full injection cost above: from
+            # its point of view the send succeeded, the network misbehaves.
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ctx.clock.now, src, "fault", fault=fault.kind, site="send",
+                    dst=dst, tag=tag, nbytes=nbytes, seq=seq,
+                )
+                self.tracer.span_point(
+                    t0, ctx.clock.now, src, "fault", f"fault:{fault.kind}",
+                    dst=dst, nbytes=nbytes,
+                )
+            if fault.kind == "drop":
+                return nbytes  # vanished on the wire; no delivery
+            if fault.kind == "delay":
+                arrival += fault.delay
+            elif fault.kind == "corrupt":
+                payload = fault.payload
+            elif fault.kind == "dup":
+                copies = 2
+            else:
+                raise SimMPIError(f"unknown message-fault kind {fault.kind!r}")
         dst_state = self._states[dst]
-        dst_state.mailbox.append(msg)
+        for i in range(copies):
+            dst_state.mailbox.append(
+                _Message(
+                    seq=seq if i == 0 else next(self._seq),
+                    src=src,
+                    dst=dst,
+                    tag=tag,
+                    comm_id=comm_id,
+                    payload=payload,
+                    nbytes=nbytes,
+                    arrival=arrival,
+                )
+            )
         if self.tracer.enabled:
             if coll_op is None:
                 self.tracer.emit(

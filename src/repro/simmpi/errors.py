@@ -40,6 +40,53 @@ class RankFailedError(SimMPIError):
         )
 
 
+class RankCrashError(SimMPIError):
+    """Raised inside a rank program by an injected crash fault.
+
+    Models a process failure at a named fault site (a phase boundary or a
+    Cannon shift step).  The resilience layer catches the resulting
+    :class:`RankFailedError` on the driver and restarts the run from the
+    latest complete checkpoint; without a recovery driver the crash aborts
+    the run like any other rank failure.
+    """
+
+    def __init__(self, rank: int, site: str):
+        self.rank = rank
+        self.site = site
+        super().__init__(f"injected crash on rank {rank} at {site!r}")
+
+
+class BlobChecksumError(SimMPIError, ValueError):
+    """Raised when a deserialized block blob fails its crc32 check.
+
+    Subclasses ``ValueError`` so callers that treat any malformed blob as
+    a value error keep working; subclasses :class:`SimMPIError` so the
+    resilience layer can classify it as a (possibly injected) transport
+    corruption and restart from a checkpoint.
+    """
+
+    def __init__(self, expected: int, actual: int):
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"block blob checksum mismatch: header says crc32=0x{expected:08x}, "
+            f"payload hashes to 0x{actual:08x} (corrupted in transit?)"
+        )
+
+
+class ResilienceExhaustedError(SimMPIError):
+    """Raised by the recovery driver when a run keeps failing after the
+    restart budget (``RecoveryPolicy.max_restarts``) is spent."""
+
+    def __init__(self, attempts: int, last: BaseException):
+        self.attempts = attempts
+        self.last = last
+        super().__init__(
+            f"run still failing after {attempts} attempts; last error: "
+            f"{type(last).__name__}: {last}"
+        )
+
+
 class CollectiveMismatchError(SimMPIError):
     """Raised when ranks disagree about a collective operation, e.g. one
     rank calls ``bcast`` while its peer calls ``allreduce``, or roots

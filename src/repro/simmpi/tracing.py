@@ -35,7 +35,8 @@ class TraceEvent:
         Rank the event is charged to.
     kind:
         Event type: ``"send"``, ``"recv"``, ``"compute"``, ``"phase_begin"``,
-        ``"phase_end"``, ``"collective"``.
+        ``"phase_end"``, ``"collective"``, ``"fault"`` (injected fault;
+        ``detail["fault"]`` names the fault kind).
     detail:
         Free-form payload (peer rank, tag, byte count, op counts, ...).
     """
@@ -108,6 +109,10 @@ class Tracer:
     def for_rank(self, rank: int) -> list[TraceEvent]:
         """Return all events charged to ``rank`` in recording order."""
         return [e for e in self.events if e.rank == rank]
+
+    def faults(self) -> list[TraceEvent]:
+        """All injected-fault events in time order (empty for clean runs)."""
+        return self.of_kind("fault")
 
     # -- spans --------------------------------------------------------------
 

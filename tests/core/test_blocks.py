@@ -152,3 +152,37 @@ def test_exchange_block_nonblob_uses_more_messages():
     raw_run.run(program, False)
     raw_sends = len(raw_run.tracer.of_kind("send"))
     assert raw_sends == 3 * blob_sends
+
+
+def test_blob_header_carries_payload_crc32():
+    from repro.core.blocks import blob_payload_crc32
+
+    b = make_block()
+    blob = b.to_blob()
+    csr = b.dcsr.csr
+    assert int(blob[6]) == blob_payload_crc32(csr.indptr, csr.indices)
+
+
+def test_corrupted_payload_raises_typed_checksum_error():
+    from repro.simmpi.errors import BlobChecksumError, SimMPIError
+
+    blob = make_block().to_blob()
+    blob[-1] ^= 0x5A  # flip an index, header untouched
+    with pytest.raises(BlobChecksumError) as ei:
+        Block.from_blob(blob)
+    # typed: catchable as a simmpi error *and* as the legacy ValueError
+    assert isinstance(ei.value, SimMPIError)
+    assert isinstance(ei.value, ValueError)
+    assert ei.value.expected != ei.value.actual
+
+
+def test_corrupted_indptr_detected_too():
+    from repro.simmpi.errors import BlobChecksumError
+
+    b = make_block()
+    blob = b.to_blob()
+    blob[7] += 0  # no-op keeps it valid
+    Block.from_blob(blob.copy())
+    blob[8] ^= 1  # perturb indptr without breaking monotonic slicing
+    with pytest.raises(BlobChecksumError):
+        Block.from_blob(blob)

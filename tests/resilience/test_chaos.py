@@ -1,0 +1,115 @@
+"""The chaos harness: sweep mechanics, report artifacts, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience.chaos import (
+    ChaosCase,
+    GRAPH_GENERATORS,
+    _case_seed,
+    main,
+    run_case,
+    sweep,
+    write_report,
+)
+from repro.resilience.recovery import RecoveryPolicy
+
+
+def test_case_seed_is_injective_over_small_matrix():
+    seen = set()
+    for g in GRAPH_GENERATORS:
+        for p in (4, 9, 16):
+            for s in range(5):
+                seen.add(_case_seed(7, g, p, s))
+    assert len(seen) == len(GRAPH_GENERATORS) * 3 * 5
+
+
+def test_run_case_recovers(tmp_path):
+    case = ChaosCase("gnm", p=4, schedule=0, seed=_case_seed(0, "gnm", 4, 0))
+    res = run_case(case, RecoveryPolicy(), out_dir=tmp_path)
+    assert res.ok
+    assert res.recovered == res.baseline
+    assert res.checkpoint_manifest is not None
+    row = res.row()
+    assert row["graph"] == "gnm" and row["ok"] is True
+    assert isinstance(row["fault_plan"], dict)
+
+
+def test_sweep_and_report(tmp_path):
+    results = sweep(
+        graphs=["gnm"],
+        ranks=[4],
+        schedules=2,
+        master_seed=1,
+        policy=RecoveryPolicy(),
+        out_dir=tmp_path,
+        verbose=False,
+    )
+    assert len(results) == 2
+    assert all(r.ok for r in results)
+    path = write_report(results, tmp_path, master_seed=1)
+    doc = json.loads(path.read_text())
+    assert doc["cases"] == 2
+    assert doc["failures"] == 0
+    assert len(doc["rows"]) == 2
+    # artifacts: per-case checkpoints with manifests, Perfetto traces
+    manifests = list((tmp_path / "checkpoints").glob("*/manifest.json"))
+    assert len(manifests) == 2
+    assert list((tmp_path / "traces").glob("*-ok.json"))
+
+
+def test_traces_carry_fault_and_checkpoint_events(tmp_path):
+    case = ChaosCase("gnm", p=9, schedule=0, seed=_case_seed(0, "gnm", 9, 1))
+    res = run_case(case, RecoveryPolicy(), out_dir=tmp_path)
+    assert res.ok
+    ok_traces = list((tmp_path / "traces").glob("*-ok.json"))
+    assert ok_traces
+    doc = json.loads(ok_traces[0].read_text())
+    cats = {e.get("cat") for e in doc["traceEvents"]}
+    assert "ckpt" in cats
+    if res.restarts:
+        att = list((tmp_path / "traces").glob("*-attempt*.json"))
+        assert att
+        fdoc = json.loads(att[0].read_text())
+        fevents = [
+            e for e in fdoc["traceEvents"] if e.get("cat") == "fault"
+        ]
+        assert any(e["name"].startswith("fault:") for e in fevents)
+
+
+def test_main_smoke_matrix_passes(tmp_path, capsys):
+    rc = main(
+        [
+            "--graphs", "gnm", "--ranks", "4", "--schedules", "1",
+            "--seed", "2", "--out", str(tmp_path), "--quiet",
+        ]
+    )
+    assert rc == 0
+    assert (tmp_path / "chaos_report.json").exists()
+
+
+def test_main_rejects_unknown_generator(capsys):
+    assert main(["--graphs", "nope"]) == 2
+
+
+def test_main_reports_failures_with_exit_code(tmp_path, monkeypatch):
+    """A case whose count cannot match must flip the exit code."""
+    import repro.resilience.chaos as chaos_mod
+
+    real = chaos_mod.count_triangles_2d_resilient
+
+    def skewed(*args, **kwargs):
+        res = real(*args, **kwargs)
+        res.count += 1
+        return res
+
+    monkeypatch.setattr(
+        chaos_mod, "count_triangles_2d_resilient", skewed
+    )
+    rc = main(
+        ["--graphs", "gnm", "--ranks", "4", "--schedules", "1", "--quiet"]
+    )
+    assert rc == 1

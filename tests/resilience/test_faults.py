@@ -1,0 +1,194 @@
+"""Fault plans and the injector: validation, determinism, one-shot."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    MESSAGE_FAULT_KINDS,
+    POINT_FAULT_KINDS,
+)
+from repro.resilience.faults import _corrupted, _corruptible
+
+
+class TestFaultSpec:
+    def test_message_fault_rejects_site(self):
+        with pytest.raises(ValueError, match="must not name a site"):
+            FaultSpec(kind="drop", rank=0, site="phase:tct")
+
+    def test_point_fault_requires_site(self):
+        with pytest.raises(ValueError, match="needs a site"):
+            FaultSpec(kind="crash", rank=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor", rank=0)
+
+    def test_delay_needs_positive_delay(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="delay", rank=0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="stall", rank=0, site="phase:ppt", delay=0.0)
+
+    def test_negative_nth_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="drop", rank=0, nth=-1)
+
+    def test_describe_mentions_kind_rank_and_site(self):
+        s = FaultSpec(kind="crash", rank=3, site="shift:1")
+        assert "crash" in s.describe()
+        assert "rank3" in s.describe()
+        assert "shift:1" in s.describe()
+
+
+class TestFaultPlan:
+    def test_json_roundtrip(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(kind="drop", rank=1, tag=120),
+                FaultSpec(kind="stall", rank=0, site="phase:tct", delay=0.01),
+            ],
+            seed=7,
+        )
+        back = FaultPlan.from_json(plan.to_json())
+        assert back.seed == 7
+        assert back.faults == plan.faults
+
+    def test_random_is_deterministic(self):
+        a = FaultPlan.random(11, p=9, q=3, n_faults=5)
+        b = FaultPlan.random(11, p=9, q=3, n_faults=5)
+        assert a.faults == b.faults
+        assert a.seed == 11
+
+    def test_random_seeds_differ(self):
+        a = FaultPlan.random(1, p=9, q=3, n_faults=5)
+        b = FaultPlan.random(2, p=9, q=3, n_faults=5)
+        assert a.faults != b.faults
+
+    def test_random_respects_crash_cap(self):
+        for seed in range(20):
+            plan = FaultPlan.random(
+                seed, p=4, q=2, n_faults=6, max_crashes=1
+            )
+            crashes = sum(1 for s in plan if s.kind == "crash")
+            assert crashes <= 1
+
+    def test_random_validates_kinds(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(0, p=4, q=2, kinds=("drop", "meteor"))
+
+    def test_random_corrupt_targets_blob_tags(self):
+        from repro.resilience.faults import BLOB_TAGS
+
+        for seed in range(30):
+            plan = FaultPlan.random(
+                seed, p=4, q=2, n_faults=4, kinds=("corrupt",)
+            )
+            assert all(s.tag in BLOB_TAGS for s in plan)
+
+    def test_all_kinds_representable(self):
+        plan = FaultPlan.random(
+            3, p=9, q=3, n_faults=40,
+            kinds=MESSAGE_FAULT_KINDS + POINT_FAULT_KINDS,
+        )
+        assert {s.kind for s in plan} == set(
+            MESSAGE_FAULT_KINDS + POINT_FAULT_KINDS
+        )
+
+
+class TestFaultInjector:
+    def test_message_fault_fires_once(self):
+        inj = FaultInjector(FaultPlan([FaultSpec(kind="drop", rank=0)]))
+        act = inj.on_send(0, 1, 5, 0, 100, None)
+        assert act is not None and act.kind == "drop"
+        assert inj.on_send(0, 1, 5, 0, 100, None) is None
+        assert inj.remaining == 0
+
+    def test_fired_survives_new_attempt(self):
+        inj = FaultInjector(FaultPlan([FaultSpec(kind="drop", rank=0)]))
+        assert inj.on_send(0, 1, 5, 0, 100, None) is not None
+        inj.new_attempt()
+        assert inj.on_send(0, 1, 5, 0, 100, None) is None
+        assert len(inj.fired) == 1
+
+    def test_nth_occurrence_matching(self):
+        inj = FaultInjector(
+            FaultPlan([FaultSpec(kind="drop", rank=0, nth=2)])
+        )
+        assert inj.on_send(0, 1, 5, 0, 8, None) is None
+        assert inj.on_send(0, 1, 5, 0, 8, None) is None
+        assert inj.on_send(0, 1, 5, 0, 8, None) is not None
+
+    def test_nth_counter_resets_per_attempt(self):
+        inj = FaultInjector(
+            FaultPlan([FaultSpec(kind="drop", rank=0, nth=1)])
+        )
+        assert inj.on_send(0, 1, 5, 0, 8, None) is None
+        inj.new_attempt()
+        assert inj.on_send(0, 1, 5, 0, 8, None) is None
+        assert inj.on_send(0, 1, 5, 0, 8, None) is not None
+
+    def test_tag_filter(self):
+        inj = FaultInjector(
+            FaultPlan([FaultSpec(kind="drop", rank=0, tag=120)])
+        )
+        assert inj.on_send(0, 1, 110, 0, 8, None) is None
+        assert inj.on_send(0, 1, 120, 0, 8, None) is not None
+
+    def test_sender_rank_filter(self):
+        inj = FaultInjector(FaultPlan([FaultSpec(kind="drop", rank=2)]))
+        assert inj.on_send(0, 2, 5, 0, 8, None) is None
+        assert inj.on_send(2, 0, 5, 0, 8, None) is not None
+
+    def test_point_fault_site_matching(self):
+        inj = FaultInjector(
+            FaultPlan([FaultSpec(kind="crash", rank=1, site="shift:2")])
+        )
+        assert inj.at_point(1, "shift:1") is None
+        assert inj.at_point(0, "shift:2") is None
+        act = inj.at_point(1, "shift:2")
+        assert act is not None and act.kind == "crash"
+        assert inj.at_point(1, "shift:2") is None  # one-shot
+
+    def test_corrupt_skips_non_blob_payloads(self):
+        inj = FaultInjector(FaultPlan([FaultSpec(kind="corrupt", rank=0)]))
+        # scalar payload: not corruptible, spec must not fire (nor count)
+        assert inj.on_send(0, 1, 5, 0, 8, 42) is None
+        blob = np.arange(32, dtype=np.int64)
+        act = inj.on_send(0, 1, 5, 0, 256, blob)
+        assert act is not None and act.kind == "corrupt"
+        assert act.payload is not blob
+        assert not np.array_equal(act.payload, blob)
+
+    def test_fired_by_kind_histogram(self):
+        inj = FaultInjector(
+            FaultPlan(
+                [
+                    FaultSpec(kind="drop", rank=0),
+                    FaultSpec(kind="stall", rank=0, site="s", delay=0.1),
+                ]
+            )
+        )
+        inj.on_send(0, 1, 5, 0, 8, None)
+        inj.at_point(0, "s")
+        assert inj.fired_by_kind() == {"drop": 1, "stall": 1}
+
+
+class TestCorruption:
+    def test_corruptible_filter(self):
+        assert _corruptible(np.arange(32, dtype=np.int64))
+        assert not _corruptible(np.arange(4, dtype=np.int64))  # header only
+        assert not _corruptible(np.arange(32, dtype=np.float64))
+        assert not _corruptible([1, 2, 3])
+        assert not _corruptible(None)
+
+    def test_corruption_preserves_header(self):
+        blob = np.arange(64, dtype=np.int64)
+        bad = _corrupted(blob)
+        assert np.array_equal(bad[:7], blob[:7])
+        assert not np.array_equal(bad[7:], blob[7:])
+        assert (bad != blob).sum() == 1  # exactly one element flipped
