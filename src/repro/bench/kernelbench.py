@@ -24,6 +24,8 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
+import platform
 import sys
 import time
 from pathlib import Path
@@ -31,8 +33,13 @@ from typing import Any
 
 from repro.core.blocks import Block, build_block
 from repro.core.config import TC2DConfig
-from repro.core.kernels import get_backend
+from repro.core.kernels import available_backends, get_backend
 from repro.graph import rmat_graph
+
+#: Artifact schema.  2 adds ``host`` metadata and the
+#: ``registered_backends`` registry snapshot so numbers from different
+#: machines (or different backend sets) are never compared blindly.
+SCHEMA = 2
 
 #: Backends timed by default ("auto" adds only dispatch overhead on top
 #: of whichever concrete backend it picks, so it is not timed separately).
@@ -101,6 +108,27 @@ SMOKE_CASES = (
 )
 
 
+def host_metadata() -> dict[str, Any]:
+    """Where the numbers came from: CPU budget, interpreter, platform.
+
+    ``usable_cpus`` is the scheduling-affinity count when the OS exposes
+    one (containers often pin fewer cores than ``os.cpu_count()``
+    reports) — it is the honest parallelism budget for this process.
+    """
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        usable = os.cpu_count() or 1
+    return {
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
 def _time_case(
     case: BenchCase, backends: tuple[str, ...], reps: int
 ) -> dict[str, Any]:
@@ -167,10 +195,12 @@ def run_bench(
         )
         print(f"{case.name:<24} {timing_txt}{spd_txt}", file=sys.stderr)
     return {
-        "schema": 1,
+        "schema": SCHEMA,
         "suite": "kernel-backends",
         "mode": "smoke" if smoke else "full",
         "reps": reps,
+        "host": host_metadata(),
+        "registered_backends": list(available_backends()),
         "cases": results,
     }
 

@@ -102,8 +102,13 @@ def _cmd_count(args: argparse.Namespace) -> int:
         early_stop=not args.no_early_stop,
         blob_serialization=not args.no_blob,
         kernel_backend=args.kernel,
+        executor=args.executor,
+        workers=args.workers,
+        real_timeout=args.real_timeout,
         seed=args.seed,
     )
+    if args.executor == "parallel" and args.algorithm != "tc2d":
+        raise SystemExit("--executor parallel is implemented for -a tc2d only")
     if args.algorithm == "tc2d":
         res = count_triangles_2d(
             g, args.ranks, cfg=cfg, model=model, trace=trace_on, dataset=spec
@@ -159,8 +164,16 @@ def _emit_observability(args: argparse.Namespace, res) -> None:
     if run is None:
         return
     if getattr(args, "trace", None):
+        worker_spans = None
+        if getattr(args, "trace_workers", False):
+            worker_spans = res.extras.get("worker_spans")
+            if not worker_spans:
+                print(
+                    "note: --trace-workers given but the run recorded no "
+                    "worker spans (sequential executor?)"
+                )
         try:
-            write_chrome_trace(args.trace, run)
+            write_chrome_trace(args.trace, run, worker_spans=worker_spans)
         except OSError as exc:
             raise SystemExit(f"cannot write trace to {args.trace}: {exc}")
         print(
@@ -185,7 +198,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     spec = _dataset_spec(args)
     g = _load_graph(spec, args.seed)
-    cfg = TC2DConfig(kernel_backend=args.kernel, seed=args.seed)
+    cfg = TC2DConfig(
+        kernel_backend=args.kernel,
+        executor=args.executor,
+        workers=args.workers,
+        real_timeout=args.real_timeout,
+        seed=args.seed,
+    )
+    if args.executor == "parallel" and args.algorithm != "tc2d":
+        raise SystemExit("--executor parallel is implemented for -a tc2d only")
     if args.algorithm == "tc2d":
         res = count_triangles_2d(
             g, args.ranks, cfg=cfg, model=paper_model(), trace=True, dataset=spec
@@ -269,6 +290,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_executor_flags(p: argparse.ArgumentParser) -> None:
+    """Superstep-executor knobs shared by ``count`` and ``profile``."""
+    p.add_argument(
+        "--executor",
+        choices=["sequential", "parallel"],
+        default="sequential",
+        help="superstep executor: run each Cannon epoch's kernels inline "
+        "(sequential) or on a shared-memory worker pool (parallel); "
+        "identical results, clocks and traces either way",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for --executor parallel (0 = cpu count)",
+    )
+    p.add_argument(
+        "--real-timeout",
+        type=float,
+        default=600.0,
+        dest="real_timeout",
+        help="wall-clock seconds before a wedged rank/worker fails the "
+        "run (default 600)",
+    )
+    p.add_argument(
+        "--trace-workers",
+        action="store_true",
+        dest="trace_workers",
+        help="with --trace: merge the pool's wall-clock worker spans into "
+        "the export as an extra process track",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -321,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-phase/imbalance/comm observability report",
     )
+    _add_executor_flags(c)
     c.set_defaults(fn=_cmd_count)
 
     pr = sub.add_parser(
@@ -358,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include the dense rank-to-rank message matrix",
     )
+    _add_executor_flags(pr)
     pr.set_defaults(fn=_cmd_profile)
 
     s = sub.add_parser("census", help="triangle census / clustering summary")

@@ -20,6 +20,12 @@ ENUMERATIONS = ("jik", "ijk")
 #: implementation, "auto" picks per block pair from cheap shape stats.
 KERNEL_BACKENDS = ("auto", "row", "batch")
 
+#: Valid superstep executors (see :mod:`repro.simmpi.parallel`):
+#: "sequential" runs kernels inline on the deterministic scheduler;
+#: "parallel" fans each Cannon epoch's kernels out to a shared-memory
+#: worker pool.  Both produce bit-identical results, clocks and traces.
+EXECUTORS = ("sequential", "parallel")
+
 
 @dataclass(frozen=True)
 class TC2DConfig:
@@ -62,6 +68,22 @@ class TC2DConfig:
         loop), ``"batch"`` (vectorized), or ``"auto"`` (per-block-pair
         choice from shape statistics).  All backends produce identical
         counts, counters and virtual time — only wall time differs.
+    executor:
+        Superstep executor for the counting phase: ``"sequential"``
+        (kernels run inline under the deterministic scheduler) or
+        ``"parallel"`` (each Cannon epoch's per-rank kernels fan out to a
+        persistent shared-memory worker pool; see
+        :mod:`repro.simmpi.parallel`).  Results, virtual clocks, traces
+        and profile reports are bit-identical either way — only wall
+        time changes.
+    workers:
+        Worker-process count for the parallel executor; ``0`` means
+        ``os.cpu_count()``.  Ignored under ``executor="sequential"``.
+    real_timeout:
+        Real (wall-clock) seconds the engine waits for a rank thread or
+        a pool worker before declaring the run wedged.  A safety net for
+        engine/worker bugs, not part of the simulation; chaos runs and
+        CI tighten it so a wedged run fails fast.
     track_per_shift:
         Record per-shift compute spans (Table 3) — small overhead.
     seed:
@@ -80,6 +102,9 @@ class TC2DConfig:
     degree_reorder: bool = True
     hashmap_slack: float = 1
     kernel_backend: str = "auto"
+    executor: str = "sequential"
+    workers: int = 0
+    real_timeout: float = 600.0
     track_per_shift: bool = True
     seed: int = 0
 
@@ -96,6 +121,14 @@ class TC2DConfig:
                 f"kernel_backend must be one of {KERNEL_BACKENDS}, "
                 f"got {self.kernel_backend!r}"
             )
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = cpu count)")
+        if self.real_timeout <= 0:
+            raise ValueError("real_timeout must be > 0 seconds")
 
     def replace(self, **kwargs: Any) -> "TC2DConfig":
         """Copy with some fields replaced (ablation helper)."""

@@ -26,10 +26,11 @@ from repro.core.blocks import exchange_block
 from repro.core.config import TC2DConfig
 from repro.core.counts import ShiftRecord, TriangleCountResult
 from repro.core.grid import ProcessorGrid
-from repro.core.kernels import resolve_backend
+from repro.core.kernels import KernelStats, resolve_backend
 from repro.core.preprocess import InputChunk, partition_1d, preprocess
+from repro.core.superstep import KERNEL_JOB_ENTRY
 from repro.graph.csr import Graph
-from repro.simmpi import SUM, Engine, MachineModel, RunResult
+from repro.simmpi import SUM, Engine, MachineModel, RunResult, SuperstepPool
 from repro.simmpi.engine import RankContext
 
 _TAG_SKEW_U = 100
@@ -98,6 +99,11 @@ def tc2d_rank_program(
     hash_fast_builds = 0
     backend_uses: dict[str, int] = {}
     blob = cfg.blob_serialization
+    offloading = ctx.engine.superstep is not None
+    # The task block never travels, so under the parallel executor its
+    # blob is packed once and reused every epoch (the U/L blobs change
+    # each shift and are packed per epoch).
+    task_blob = task_block.to_blob() if offloading else None
 
     with ctx.phase("tct"):
         if snap is None:
@@ -134,7 +140,28 @@ def tc2d_rank_program(
             bname, kernel_fn = resolve_backend(
                 cfg.kernel_backend, task_block, u_block, l_block, cfg
             )
-            st = kernel_fn(task_block, u_block, l_block, cfg)
+            if offloading:
+                # Parallel superstep: ship the block blobs to the worker
+                # pool and park; every rank's epoch-z kernel lands in the
+                # same dispatch batch (the blocks are data-independent —
+                # Eq. 6 pins all operands before any kernel runs).  The
+                # returned stats are applied below exactly as inline
+                # results would be, so clocks/counters/traces match the
+                # sequential executor bit for bit.
+                payload = ctx.offload(
+                    KERNEL_JOB_ENTRY,
+                    (task_blob, u_block.to_blob(), l_block.to_blob()),
+                    meta={
+                        "backend": bname,
+                        "cfg": cfg,
+                        "rank": ctx.rank,
+                        "shift": z,
+                    },
+                    label=f"kernel:{bname}",
+                )
+                st = KernelStats(**payload)
+            else:
+                st = kernel_fn(task_block, u_block, l_block, cfg)
             backend_uses[bname] = backend_uses.get(bname, 0) + 1
             ctx.charge("row_visit", st.row_visits, working_set)
             ctx.charge("task", st.tasks, working_set)
@@ -218,6 +245,7 @@ def count_triangles_2d(
     trace: bool = False,
     dataset: str = "",
     keep_run: bool = False,
+    superstep: SuperstepPool | None = None,
 ) -> TriangleCountResult:
     """Count the triangles of ``graph`` with the 2D algorithm on ``p``
     simulated ranks (``p`` must be a perfect square).
@@ -239,21 +267,48 @@ def count_triangles_2d(
         Label copied into the result for reporting.
     keep_run:
         Keep the raw :class:`RunResult` in ``result.extras["run"]``.
+    superstep:
+        Existing :class:`~repro.simmpi.parallel.SuperstepPool` to reuse
+        (worker spawn cost then amortizes across runs).  When omitted
+        and ``cfg.executor == "parallel"``, a pool with ``cfg.workers``
+        workers is created for this run and shut down afterwards.
 
     Returns
     -------
     TriangleCountResult
         Exact count plus simulated phase times, counters, per-shift
-        records and hash statistics.
+        records and hash statistics.  Under the parallel executor,
+        ``extras`` additionally carries ``executor``, ``workers`` and
+        the run's wall-clock ``worker_spans``.
     """
     cfg = cfg if cfg is not None else TC2DConfig()
     ProcessorGrid.for_ranks(p)  # validates perfect square early
     chunks = partition_1d(graph, p)
-    engine = Engine(p, model=model, trace=trace)
-    run: RunResult = engine.run(tc2d_rank_program, chunks, cfg)
-    return assemble_tc2d_result(
-        run, p, cfg, dataset=dataset, keep_run=keep_run or trace
-    )
+    pool = superstep
+    owned = False
+    if pool is None and cfg.executor == "parallel":
+        pool = SuperstepPool(workers=cfg.workers, timeout=cfg.real_timeout)
+        owned = True
+    try:
+        engine = Engine(
+            p,
+            model=model,
+            trace=trace,
+            real_timeout=cfg.real_timeout,
+            superstep=pool,
+        )
+        run: RunResult = engine.run(tc2d_rank_program, chunks, cfg)
+        result = assemble_tc2d_result(
+            run, p, cfg, dataset=dataset, keep_run=keep_run or trace
+        )
+        if pool is not None:
+            result.extras["executor"] = "parallel"
+            result.extras["workers"] = pool.workers
+            result.extras["worker_spans"] = pool.drain_spans()
+        return result
+    finally:
+        if owned:
+            pool.shutdown()
 
 
 def assemble_tc2d_result(

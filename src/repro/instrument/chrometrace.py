@@ -13,32 +13,58 @@ the trace clock.
   Cannon's shift pattern as arrows between rank tracks;
 * collective summary events become ``"i"`` instant events;
 * injected-fault and checkpoint events (the resilience subsystem) become
-  labeled ``"i"`` instant events (``cat`` ``"fault"`` / ``"ckpt"``).
+  labeled ``"i"`` instant events (``cat`` ``"fault"`` / ``"ckpt"``);
+* optionally, the parallel executor's wall-clock
+  :class:`~repro.simmpi.parallel.WorkerSpan` records become a second
+  process (one track per worker pid) so pool occupancy is visible next
+  to the virtual rank timelines.
 
-Export is fully deterministic: events are emitted in a fixed order and
-serialized with sorted keys, so two identical runs produce byte-identical
-files.
+Export is fully deterministic *and executor-invariant*: spans and events
+are emitted rank-major (each rank's records in its own program order —
+which is identical under the sequential and parallel executors — ranks
+concatenated in id order) and serialized with sorted keys, so two runs
+that differ only in executor or in wall-clock interleaving produce
+byte-identical files.  The opt-in worker track is the one exception: it
+records real time and is therefore nondeterministic by nature.
 """
 
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simmpi.engine import RunResult
+    from repro.simmpi.parallel import WorkerSpan
 
 #: Trace clock: virtual seconds -> microseconds.
 _US = 1e6
 _PID = 0
+#: Second trace process holding the pool workers' wall-clock lanes.
+_WORKER_PID = 1
+
+
+def _rank_major(records: Iterable[Any]) -> list[Any]:
+    """Stable rank-major order: per-rank record order is engine-program
+    order (executor-invariant); ranks concatenate in id order."""
+    return sorted(records, key=lambda r: r.rank)
 
 
 def _span_args(detail: dict[str, Any]) -> dict[str, Any]:
     return {k: v for k, v in detail.items() if k != "seq"}
 
 
-def chrome_trace(run: "RunResult") -> dict[str, Any]:
+def chrome_trace(
+    run: "RunResult",
+    worker_spans: Sequence["WorkerSpan"] | None = None,
+) -> dict[str, Any]:
     """Build the trace-event dictionary for a traced ``run``.
+
+    ``worker_spans`` (optional) merges the parallel executor's wall-clock
+    worker occupancy as a second trace process — one lane per worker
+    process, one ``"X"`` event per offloaded job, timestamps in real
+    seconds since pool creation.  Leave it ``None`` (the default) for a
+    fully deterministic export.
 
     Raises ``ValueError`` if the run was executed without tracing (there
     would be nothing to export).
@@ -82,7 +108,7 @@ def chrome_trace(run: "RunResult") -> dict[str, Any]:
         )
 
     # Spans -> complete events.
-    for span in tracer.spans:
+    for span in _rank_major(tracer.spans):
         events.append(
             {
                 "ph": "X",
@@ -96,21 +122,26 @@ def chrome_trace(run: "RunResult") -> dict[str, Any]:
             }
         )
 
-    # Message flows: bind each send to its matching receive by seq.
+    # Message flows: bind each send to its matching receive by seq.  The
+    # engine's seq numbers real execution interleaving (which a different
+    # executor may legally change), so the exported flow ids are
+    # renumbered in rank-major emission order to stay executor-invariant.
     recv_by_seq: dict[int, Any] = {}
     for e in tracer.events:
         if e.kind == "recv" and "seq" in e.detail:
             recv_by_seq[int(e.detail["seq"])] = e
-    for e in tracer.events:
+    flow_id = 0
+    for e in _rank_major(tracer.events):
         if e.kind == "send" and "seq" in e.detail:
             seq = int(e.detail["seq"])
             recv = recv_by_seq.get(seq)
             if recv is None:
                 continue  # sent but never received (e.g. aborted run)
+            flow_id += 1
             flow = {
                 "cat": "msg",
                 "name": f"{e.rank}->{recv.rank}",
-                "id": seq,
+                "id": flow_id,
                 "pid": _PID,
             }
             events.append(
@@ -165,6 +196,59 @@ def chrome_trace(run: "RunResult") -> dict[str, Any]:
                 }
             )
 
+    # Optional wall-clock worker track: a second trace process with one
+    # lane per worker pid.  Real time, hence nondeterministic; opt-in.
+    if worker_spans:
+        events.append(
+            {
+                "ph": "M",
+                "pid": _WORKER_PID,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "superstep workers (wall clock)"},
+            }
+        )
+        lanes = {
+            pid: lane
+            for lane, pid in enumerate(sorted({s.worker for s in worker_spans}))
+        }
+        for pid, lane in lanes.items():
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": _WORKER_PID,
+                    "tid": lane,
+                    "name": "thread_name",
+                    "args": {"name": f"worker pid {pid}"},
+                }
+            )
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": _WORKER_PID,
+                    "tid": lane,
+                    "name": "thread_sort_index",
+                    "args": {"sort_index": lane},
+                }
+            )
+        for s in worker_spans:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": _WORKER_PID,
+                    "tid": lanes[s.worker],
+                    "ts": s.begin * _US,
+                    "dur": s.duration * _US,
+                    "name": s.label or "job",
+                    "cat": "worker",
+                    "args": {
+                        "rank": s.rank,
+                        "dispatch": s.dispatch,
+                        "pid": s.worker,
+                    },
+                }
+            )
+
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -176,20 +260,31 @@ def chrome_trace(run: "RunResult") -> dict[str, Any]:
     }
 
 
-def dumps_chrome_trace(run: "RunResult") -> str:
+def dumps_chrome_trace(
+    run: "RunResult",
+    worker_spans: Sequence["WorkerSpan"] | None = None,
+) -> str:
     """Serialize :func:`chrome_trace` deterministically (sorted keys,
     fixed separators, trailing newline)."""
     return (
-        json.dumps(chrome_trace(run), sort_keys=True, separators=(",", ":"))
+        json.dumps(
+            chrome_trace(run, worker_spans=worker_spans),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
         + "\n"
     )
 
 
-def write_chrome_trace(path, run: "RunResult") -> None:
+def write_chrome_trace(
+    path,
+    run: "RunResult",
+    worker_spans: Sequence["WorkerSpan"] | None = None,
+) -> None:
     """Write the Perfetto-loadable trace of ``run`` to ``path``.
 
     Open the file at https://ui.perfetto.dev (or ``chrome://tracing``).
     """
     from pathlib import Path
 
-    Path(path).write_text(dumps_chrome_trace(run))
+    Path(path).write_text(dumps_chrome_trace(run, worker_spans=worker_spans))

@@ -121,14 +121,21 @@ def run_case(
     out_dir: Path | None = None,
     graph: Graph | None = None,
     baseline: int | None = None,
+    base_cfg: TC2DConfig | None = None,
 ) -> CaseResult:
-    """Execute one chaos case; never raises (failures land in the row)."""
+    """Execute one chaos case; never raises (failures land in the row).
+
+    ``base_cfg`` carries run-wide toggles (executor, workers,
+    real_timeout, ...); the case's fault-plan seed is layered on top.
+    """
     from repro.core.grid import ProcessorGrid
+
+    base_cfg = base_cfg if base_cfg is not None else TC2DConfig()
 
     if graph is None:
         graph = GRAPH_GENERATORS[case.graph_name](case.seed % 100)
     if baseline is None:
-        baseline = count_triangles_2d(graph, case.p, TC2DConfig()).count
+        baseline = count_triangles_2d(graph, case.p, base_cfg).count
     q = ProcessorGrid.for_ranks(case.p).q
     plan = FaultPlan.random(
         case.seed, case.p, q, n_faults=_FAULTS_PER_SCHEDULE
@@ -141,7 +148,7 @@ def run_case(
         res = count_triangles_2d_resilient(
             graph,
             case.p,
-            cfg=TC2DConfig(seed=case.seed),
+            cfg=base_cfg.replace(seed=case.seed),
             fault_plan=plan,
             checkpoint_dir=ckpt_dir,
             policy=policy,
@@ -229,8 +236,10 @@ def sweep(
     checkpoint_interval: int = 1,
     out_dir: Path | None = None,
     verbose: bool = True,
+    base_cfg: TC2DConfig | None = None,
 ) -> list[CaseResult]:
     """Run the full chaos matrix; returns one :class:`CaseResult` per cell."""
+    base_cfg = base_cfg if base_cfg is not None else TC2DConfig()
     results: list[CaseResult] = []
     # Baselines depend on (graph, p) only; cache them across schedules.
     graph_cache: dict[str, Graph] = {}
@@ -243,7 +252,7 @@ def sweep(
             key = (gname, p)
             if key not in baseline_cache:
                 baseline_cache[key] = count_triangles_2d(
-                    g, p, TC2DConfig()
+                    g, p, base_cfg
                 ).count
             for s in range(schedules):
                 case = ChaosCase(
@@ -259,6 +268,7 @@ def sweep(
                     out_dir=out_dir,
                     graph=g,
                     baseline=baseline_cache[key],
+                    base_cfg=base_cfg,
                 )
                 results.append(r)
                 if verbose:
@@ -337,6 +347,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="small fixed matrix for CI (overrides --graphs/--ranks/--schedules)",
     )
+    parser.add_argument(
+        "--executor", choices=["sequential", "parallel"], default="sequential",
+        help="superstep executor for every run in the sweep (baselines and "
+        "recovery attempts); identical counts either way",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for --executor parallel (0 = cpu count)",
+    )
+    parser.add_argument(
+        "--real-timeout", type=float, default=600.0, dest="real_timeout",
+        help="wall-clock seconds before a wedged rank/worker fails the run "
+        "(default 600; CI tightens it)",
+    )
     parser.add_argument("--quiet", action="store_true")
     return parser
 
@@ -358,6 +382,11 @@ def main(argv: list[str] | None = None) -> int:
 
     policy = RecoveryPolicy(max_restarts=args.max_restarts)
     out_dir = Path(args.out) if args.out else None
+    base_cfg = TC2DConfig(
+        executor=args.executor,
+        workers=args.workers,
+        real_timeout=args.real_timeout,
+    )
     results = sweep(
         graphs,
         ranks,
@@ -367,6 +396,7 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_interval=args.checkpoint_interval,
         out_dir=out_dir,
         verbose=not args.quiet,
+        base_cfg=base_cfg,
     )
     failures = [r for r in results if not r.ok]
     if out_dir is not None:

@@ -169,6 +169,7 @@ def count_triangles_2d_resilient(
     checkpoint_interval: int = 1,
     trace: bool = False,
     dataset: str = "",
+    superstep: Any = None,
 ) -> TriangleCountResult:
     """Count triangles with checkpoint/restart under (optional) faults.
 
@@ -191,6 +192,14 @@ def count_triangles_2d_resilient(
         Trace every attempt; failed attempts' traces (where the faults
         fired) land in ``extras["attempt_traces"]``, the successful run in
         ``extras["run"]``.
+    superstep:
+        Existing :class:`~repro.simmpi.parallel.SuperstepPool` to reuse
+        across attempts.  When omitted and ``cfg.executor ==
+        "parallel"``, one pool is created for the whole restart loop
+        (workers persist across attempts — an aborted attempt only drops
+        its pending jobs) and shut down on return.  Recovery semantics
+        are executor-independent: checkpoints capture rank-side state
+        only, and a restored attempt re-offloads from its resume epoch.
 
     Returns
     -------
@@ -217,6 +226,14 @@ def count_triangles_2d_resilient(
         checkpoint_dir = tmp.name
     store = CheckpointStore(checkpoint_dir)
 
+    pool = superstep
+    pool_owned = False
+    if pool is None and cfg.executor == "parallel":
+        from repro.simmpi.parallel import SuperstepPool
+
+        pool = SuperstepPool(workers=cfg.workers, timeout=cfg.real_timeout)
+        pool_owned = True
+
     attempts: list[AttemptRecord] = []
     failed_traces: list[AttemptTrace] = []
     try:
@@ -227,7 +244,14 @@ def count_triangles_2d_resilient(
             rctx = ResilienceContext(
                 store, restore_epoch, interval=checkpoint_interval
             )
-            engine = Engine(p, model=model, trace=trace, fault_injector=injector)
+            engine = Engine(
+                p,
+                model=model,
+                trace=trace,
+                real_timeout=cfg.real_timeout,
+                fault_injector=injector,
+                superstep=pool,
+            )
             try:
                 run = engine.run(tc2d_rank_program, chunks, cfg, rctx)
             except (RankFailedError, DeadlockError, SimMPIError) as exc:
@@ -277,6 +301,10 @@ def count_triangles_2d_resilient(
                 run, p, cfg, dataset=dataset, keep_run=trace
             )
             result.algorithm = "tc2d-resilient"
+            if pool is not None:
+                result.extras["executor"] = "parallel"
+                result.extras["workers"] = pool.workers
+                result.extras["worker_spans"] = pool.drain_spans()
             result.extras["attempts"] = attempts
             result.extras["restarts"] = len(attempts) - 1
             result.extras["faults_fired"] = (
@@ -291,5 +319,7 @@ def count_triangles_2d_resilient(
             return result
         raise AssertionError("unreachable: restart loop neither returned nor raised")
     finally:
+        if pool_owned:
+            pool.shutdown()
         if tmp is not None:
             tmp.cleanup()

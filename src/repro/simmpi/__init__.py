@@ -40,7 +40,9 @@ from repro.simmpi.errors import (
     RankFailedError,
     ResilienceExhaustedError,
     SimMPIError,
+    WorkerCrashError,
 )
+from repro.simmpi.parallel import SuperstepPool, WorkerSpan
 from repro.simmpi.reduceops import BAND, BOR, MAX, MIN, PROD, SUM, ReduceOp
 from repro.simmpi.tracing import Span, TraceEvent, Tracer
 
@@ -70,6 +72,9 @@ __all__ = [
     "SimMPIError",
     "Span",
     "SUM",
+    "SuperstepPool",
     "TraceEvent",
     "Tracer",
+    "WorkerCrashError",
+    "WorkerSpan",
 ]

@@ -244,6 +244,30 @@ class RankContext:
         else:  # pragma: no cover - plan validation rejects other kinds
             raise SimMPIError(f"unknown point-fault kind {act.kind!r}")
 
+    def offload(
+        self,
+        entry: str,
+        arrays: Any,
+        meta: dict | None = None,
+        label: str = "",
+    ) -> Any:
+        """Run ``entry(arrays, meta)`` on the engine's superstep pool.
+
+        Blocks this virtual rank in *real* time only: the job is queued,
+        the rank parks, and once the scheduler has run every other rank
+        to its own blocking point the whole batch executes concurrently
+        on the pool's worker processes (see
+        :mod:`repro.simmpi.parallel`).  The virtual clock does not
+        advance — callers account the returned result's logical cost
+        with :meth:`charge` exactly as they would for inline compute, so
+        offloading is invisible to virtual time, counters and traces.
+
+        Requires a pool attached at engine construction
+        (``Engine(..., superstep=pool)``); raises
+        :class:`~repro.simmpi.errors.SimMPIError` otherwise.
+        """
+        return self.engine.offload_rank(self.rank, entry, arrays, meta, label)
+
     @contextmanager
     def phase(self, name: str) -> Iterator[PhaseStats]:
         """Scope a named timing phase (nestable)."""
@@ -296,6 +320,15 @@ class Engine:
         Every injected fault is emitted through the tracer as a ``"fault"``
         event plus a ``cat="fault"`` span, so faults are visible in the
         Perfetto export and attributable in the comm matrix.
+    superstep:
+        Optional :class:`~repro.simmpi.parallel.SuperstepPool`.  When
+        attached, rank programs may call :meth:`RankContext.offload` to
+        fan pure compute jobs out to real worker processes: jobs queue
+        while ranks run, and the scheduler drains the pool whenever no
+        rank is runnable, so an epoch's data-independent jobs execute
+        concurrently without perturbing virtual time or determinism.
+        The pool is *borrowed*, never owned: it survives (and is reused
+        across) engine runs, and the caller shuts it down.
     """
 
     def __init__(
@@ -305,6 +338,7 @@ class Engine:
         trace: bool = False,
         real_timeout: float = 600.0,
         fault_injector: Any = None,
+        superstep: Any = None,
     ):
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
@@ -313,6 +347,7 @@ class Engine:
         self.tracer = Tracer(enabled=trace)
         self.real_timeout = real_timeout
         self.faults = fault_injector
+        self.superstep = superstep
         self._states: list[_RankState] = []
         self._ctxs: list[RankContext] = []
         self._sched_evt = threading.Event()
@@ -335,6 +370,9 @@ class Engine:
         self._ctxs = [RankContext(self, r) for r in range(self.num_ranks)]
         self._aborting = False
         self._sched_evt.clear()  # may be left set by an aborted prior run
+        if self.superstep is not None:
+            # Jobs of an aborted earlier run must not leak into this one.
+            self.superstep.reset()
 
         for st in self._states:
             st.thread = threading.Thread(
@@ -373,6 +411,18 @@ class Engine:
         cursor = 0
         while True:
             nxt = self._pick_runnable(cursor)
+            if nxt is None and self.superstep is not None and self.superstep.pending():
+                # Superstep barrier: every rank that could run has either
+                # finished, blocked on a receive, or parked behind an
+                # offloaded job — the pending batch is as large as it can
+                # get, so this is the moment real parallelism happens.
+                # dispatch() serves results in rank order; the served
+                # ranks rejoin the deterministic round-robin schedule.
+                for r in self.superstep.dispatch(timeout=self.real_timeout):
+                    st = self._states[r]
+                    if st.state == _BLOCKED:
+                        st.state = _READY
+                continue
             if nxt is None:
                 unfinished = {
                     st.rank: st.blocked_on or "blocked"
@@ -598,6 +648,31 @@ class Engine:
             if best is None or m.seq < best_seq:
                 best, best_seq = i, m.seq
         return best
+
+    def offload_rank(
+        self,
+        rank: int,
+        entry: str,
+        arrays: Any,
+        meta: dict | None,
+        label: str,
+    ) -> Any:
+        """Queue a superstep job for ``rank`` and park it until the result
+        is in (see :meth:`RankContext.offload` for the contract)."""
+        pool = self.superstep
+        if pool is None:
+            raise SimMPIError(
+                "no superstep pool attached to this engine; construct it "
+                "with Engine(..., superstep=SuperstepPool(...)) or use the "
+                "sequential executor"
+            )
+        pool.submit(rank, entry, arrays, meta, label=label)
+        # An eager message delivery can wake this rank before its result
+        # exists (post_send marks any blocked destination runnable), so
+        # re-park until the dispatch that serves this rank has happened.
+        while not pool.has_result(rank):
+            self._block(rank, f"superstep({label or entry})")
+        return pool.take_result(rank)
 
     def probe(self, rank: int, source: int, tag: int, comm_id: int) -> bool:
         """Non-blocking check whether a matching message is queued."""

@@ -74,6 +74,26 @@ class BlobChecksumError(SimMPIError, ValueError):
         )
 
 
+class WorkerCrashError(SimMPIError):
+    """Raised by the superstep pool when a parallel worker fails.
+
+    Covers the three ways a real worker can go wrong: the process died
+    (``BrokenProcessPool``), the job raised an exception inside the
+    worker, or no result arrived within the real-time budget.  The
+    original failure (when there is one) is attached as ``__cause__``;
+    :attr:`rank` names the virtual rank whose job was in flight.
+
+    Subclasses :class:`SimMPIError` so drivers that already classify
+    engine failures (the resilience layer, the chaos harness) treat a
+    worker crash like any other runtime failure instead of an anonymous
+    ``concurrent.futures`` internal.
+    """
+
+    def __init__(self, rank: int, why: str):
+        self.rank = rank
+        super().__init__(f"superstep worker failed (rank {rank} job): {why}")
+
+
 class ResilienceExhaustedError(SimMPIError):
     """Raised by the recovery driver when a run keeps failing after the
     restart budget (``RecoveryPolicy.max_restarts``) is spent."""

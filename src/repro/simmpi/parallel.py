@@ -1,0 +1,474 @@
+"""Shared-memory parallel superstep executor for the SPMD engine.
+
+The engine's cooperative scheduler runs one virtual rank at a time, which
+keeps execution deterministic but leaves every core except one idle.  The
+paper's Cannon schedule, however, makes each shift epoch's per-rank
+counting kernels *data-independent* (the Eq. 6 residue invariant pins
+every operand before any kernel runs), so the heavy compute of one epoch
+is an embarrassingly parallel batch.  :class:`SuperstepPool` exploits
+exactly that structure:
+
+* a rank program calls :meth:`~repro.simmpi.engine.RankContext.offload`
+  at a compute site, handing the pool its input arrays and a picklable
+  ``meta`` dict, and blocks (in *real* time only — the virtual clock
+  never sees the pool);
+* when the scheduler finds no runnable rank, it drains the pool: every
+  pending job is dispatched to a persistent ``multiprocessing`` worker
+  pool and the results are collected **in rank order**;
+* the submitting ranks resume one at a time under the normal
+  deterministic schedule and apply their results (charges, tracer
+  events, count deltas) exactly as the sequential executor would.
+
+Because the pool only ever computes *pure functions of the submitted
+bytes* and every state mutation happens rank-side under the sequential
+scheduler, counts, virtual clocks, counters, traces and profile reports
+are bit-identical to a sequential run — the pool can only change wall
+time.
+
+Zero-copy transport
+-------------------
+Input arrays travel through one ``multiprocessing.shared_memory`` arena
+segment that is reused (grow-only) across dispatches, so an epoch's
+operand blobs cost one ``memcpy`` into the arena and **no pickling of
+array payloads**.  Workers map the segment once and rebuild zero-copy
+views; only the small result dicts come back through the pickle channel.
+
+Worker lifecycle (spawn, not fork)
+----------------------------------
+Workers are started with the explicit ``spawn`` context: each worker is
+a fresh interpreter that re-imports the job's entry module, so
+module-level registries (e.g. the kernel-backend registry, which
+registers ``"row"``/``"batch"`` at import time) are rebuilt from scratch
+instead of inheriting an arbitrary fork-time snapshot of the parent —
+the parent's tracer, engine state and any half-initialized globals never
+leak into workers.  Code that mutates module state beyond import-time
+registration (e.g. ``register_backend`` of a custom backend) must pass a
+``worker_init`` entry point so every worker replays that registration;
+see :func:`SuperstepPool.__init__`.
+
+A worker that dies (or an entry that raises) surfaces as the typed
+:class:`~repro.simmpi.errors.WorkerCrashError` on the driver, never as a
+hang or a silent partial result.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context, shared_memory
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.simmpi.errors import SimMPIError, WorkerCrashError
+
+#: Smallest arena allocation; grow-only doubling starts here.
+_MIN_ARENA_BYTES = 1 << 16
+
+#: Slot alignment inside the arena (int64 payloads want 8-byte offsets).
+_ALIGN = 8
+
+
+def _resolve_entry(entry: str) -> Callable:
+    """Import ``"package.module:function"`` and return the function.
+
+    Entry points are strings (not callables) because jobs cross a process
+    boundary: the worker re-imports the module in its own interpreter,
+    which is what makes ``spawn`` workers immune to unpicklable closures.
+    """
+    mod_name, sep, fn_name = entry.partition(":")
+    if not sep or not mod_name or not fn_name:
+        raise ValueError(
+            f"entry must look like 'package.module:function', got {entry!r}"
+        )
+    fn = getattr(importlib.import_module(mod_name), fn_name, None)
+    if fn is None:
+        raise ValueError(f"module {mod_name!r} has no attribute {fn_name!r}")
+    return fn
+
+
+@dataclass(frozen=True)
+class WorkerSpan:
+    """Real wall-time extent of one job on one pool worker.
+
+    Unlike the engine's virtual-time spans these are *wall-clock* and
+    therefore nondeterministic; they live outside the
+    :class:`~repro.simmpi.tracing.Tracer` so default trace exports stay
+    bit-identical across executors, and are merged into the Perfetto
+    export only on request (``--trace-workers``).
+
+    Times are ``time.perf_counter`` seconds relative to the pool's
+    creation; on Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, which is
+    comparable across the parent and its workers.
+    """
+
+    worker: int  # worker process pid
+    rank: int  # virtual rank the job was submitted for
+    label: str  # display label, e.g. "kernel:batch"
+    begin: float
+    end: float
+    dispatch: int  # which drain of the pool this job rode in
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.begin
+
+
+@dataclass(frozen=True)
+class _JobDesc:
+    """Worker-side description of one job (small and picklable)."""
+
+    shm_name: str
+    #: Per-array (byte offset, dtype string, element count) into the arena.
+    slots: tuple[tuple[int, str, int], ...]
+    entry: str
+    meta: dict
+
+
+@dataclass
+class _PendingJob:
+    """Parent-side record of one submitted-but-undispatched job."""
+
+    rank: int
+    entry: str
+    arrays: tuple[np.ndarray, ...]
+    meta: dict
+    label: str
+
+
+class _ShmArena:
+    """One grow-only shared-memory segment reused across dispatches.
+
+    Growing allocates a fresh segment (shm cannot be resized in place)
+    and unlinks the old one; workers notice the new name on their next
+    job and drop their stale mapping.  ``allocations`` counts segment
+    (re)creations so tests can assert steady-state reuse.
+    """
+
+    def __init__(self) -> None:
+        self.shm: shared_memory.SharedMemory | None = None
+        self.capacity = 0
+        self.allocations = 0
+
+    def ensure(self, nbytes: int) -> shared_memory.SharedMemory:
+        if self.shm is None or nbytes > self.capacity:
+            cap = max(_MIN_ARENA_BYTES, self.capacity)
+            while cap < nbytes:
+                cap *= 2
+            self.close()
+            self.shm = shared_memory.SharedMemory(create=True, size=cap)
+            self.capacity = cap
+            self.allocations += 1
+        assert self.shm is not None
+        return self.shm
+
+    def close(self) -> None:
+        if self.shm is not None:
+            try:
+                self.shm.close()
+            except BufferError:  # pragma: no cover - view pinned by a frame
+                pass  # unlink below still frees the name; mapping dies later
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self.shm = None
+            self.capacity = 0
+
+
+# ---------------------------------------------------------------------------
+# worker side (runs in spawned interpreters)
+# ---------------------------------------------------------------------------
+
+#: Arena mappings held by this worker, keyed by segment name.  At most one
+#: live entry: a new name means the parent's arena grew and the old
+#: segment is already unlinked, so stale mappings are closed eagerly.
+_WORKER_SHM: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _worker_initializer(worker_init: str | None) -> None:
+    """Per-worker startup hook (runs once in each spawned interpreter).
+
+    ``worker_init`` is an optional ``"module:function"`` entry called with
+    no arguments.  This is the documented place to replay module-state
+    mutations that ``spawn`` does not inherit — most importantly
+    registering custom kernel backends
+    (:func:`repro.core.kernels.register_backend`), which only exist in
+    the parent unless every worker re-registers them.
+    """
+    if worker_init:
+        _resolve_entry(worker_init)()
+
+
+def _attach_arena(name: str) -> shared_memory.SharedMemory:
+    shm = _WORKER_SHM.get(name)
+    if shm is None:
+        for stale in list(_WORKER_SHM):
+            _WORKER_SHM.pop(stale).close()
+        shm = shared_memory.SharedMemory(name=name)
+        _WORKER_SHM[name] = shm
+    return shm
+
+
+def _run_job(desc: _JobDesc) -> dict[str, Any]:
+    """Execute one job in a worker: map the arena, rebuild zero-copy
+    array views, run the entry, return its (picklable) result plus the
+    job's wall-time extent.
+
+    The entry receives ``(arrays, meta)`` where ``arrays`` are read-only
+    views into the shared segment; it must treat them as immutable inputs
+    and must not keep references past its return (the parent reuses the
+    arena for the next dispatch).
+    """
+    t0 = time.perf_counter()
+    shm = _attach_arena(desc.shm_name)
+    arrays = [
+        np.frombuffer(shm.buf, dtype=np.dtype(dt), count=count, offset=off)
+        for off, dt, count in desc.slots
+    ]
+    fn = _resolve_entry(desc.entry)
+    result = fn(arrays, desc.meta)
+    del arrays  # release the exported buffer before the next arena swap
+    return {
+        "result": result,
+        "t0": t0,
+        "t1": time.perf_counter(),
+        "worker": os.getpid(),
+    }
+
+
+def _crash_for_tests(arrays: Sequence[np.ndarray], meta: dict) -> None:
+    """Job entry that kills its worker process (crash-path tests only)."""
+    os._exit(int(meta.get("code", 17)))
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+class SuperstepPool:
+    """Persistent spawn-context worker pool with a shared-memory arena.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``0`` means ``os.cpu_count()``.
+    timeout:
+        Real seconds to wait for any single job result before declaring
+        the pool wedged (:class:`WorkerCrashError`); engines override it
+        per dispatch with their own ``real_timeout``.
+    worker_init:
+        Optional ``"module:function"`` entry replayed once in every
+        spawned worker (see :func:`_worker_initializer`); required when
+        jobs depend on parent-side module-state mutations such as custom
+        kernel-backend registrations.
+
+    The pool outlives individual engine runs: the resilient restart
+    driver and benchmark harnesses attach one pool to many engines, so
+    worker spawn cost and arena allocations amortize across runs.  Use
+    it as a context manager (or call :meth:`shutdown`) to release the
+    workers and unlink the arena.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        timeout: float = 600.0,
+        worker_init: str | None = None,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = cpu count)")
+        self.workers = workers or (os.cpu_count() or 1)
+        self.timeout = timeout
+        self.worker_init = worker_init
+        # Explicit spawn context: see the module docstring for why fork
+        # is never safe here (inherited registries, tracer state, locks).
+        self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=get_context("spawn"),
+            initializer=_worker_initializer,
+            initargs=(worker_init,),
+        )
+        self._arena = _ShmArena()
+        self._pending: dict[int, _PendingJob] = {}
+        self._results: dict[int, Any] = {}
+        self._spans: list[WorkerSpan] = []
+        self._t0 = time.perf_counter()
+        self.dispatches = 0
+        self.jobs_run = 0
+
+    # -- bookkeeping --------------------------------------------------------
+
+    @property
+    def arena_allocations(self) -> int:
+        """Shared-memory segment (re)creations so far (reuse metric)."""
+        return self._arena.allocations
+
+    def pending(self) -> bool:
+        """Whether any submitted job is waiting for a dispatch."""
+        return bool(self._pending)
+
+    def has_result(self, rank: int) -> bool:
+        return rank in self._results
+
+    def take_result(self, rank: int) -> Any:
+        return self._results.pop(rank)
+
+    def drain_spans(self) -> list[WorkerSpan]:
+        """Worker spans recorded since the last drain (and forget them)."""
+        spans, self._spans = self._spans, []
+        return spans
+
+    def reset(self) -> None:
+        """Drop pending jobs and unclaimed results (start of an engine
+        run, or teardown of an aborted one).  Workers and arena persist."""
+        self._pending.clear()
+        self._results.clear()
+
+    # -- the superstep ------------------------------------------------------
+
+    def submit(
+        self,
+        rank: int,
+        entry: str,
+        arrays: Sequence[np.ndarray],
+        meta: dict | None = None,
+        label: str = "",
+    ) -> None:
+        """Queue one job for ``rank``; it runs at the next :meth:`dispatch`.
+
+        ``entry`` is a ``"module:function"`` string resolved *in the
+        worker*; it is called as ``entry(arrays, meta)`` and must return
+        a picklable value containing no views into the input arrays.
+        """
+        if self._executor is None:
+            raise SimMPIError("superstep pool is shut down")
+        if rank in self._pending or rank in self._results:
+            raise SimMPIError(
+                f"rank {rank} already has a superstep job in flight"
+            )
+        _resolve_entry(entry)  # fail fast in the parent on a bad entry
+        self._pending[rank] = _PendingJob(
+            rank=rank,
+            entry=entry,
+            arrays=tuple(np.ascontiguousarray(a) for a in arrays),
+            meta=dict(meta or {}),
+            label=label or entry,
+        )
+
+    def dispatch(self, timeout: float | None = None) -> list[int]:
+        """Run every pending job concurrently; return the served ranks.
+
+        Jobs are packed into the arena and submitted together; results
+        are collected **in rank order** so the caller's wake-up sequence
+        is deterministic.  Any worker death, in-job exception or timeout
+        raises :class:`WorkerCrashError` (pending state is cleared so the
+        owning engine can abort cleanly).
+        """
+        if self._executor is None:
+            raise SimMPIError("superstep pool is shut down")
+        if not self._pending:
+            return []
+        jobs = [self._pending[r] for r in sorted(self._pending)]
+        limit = self.timeout if timeout is None else timeout
+
+        total = sum(
+            (a.nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+            for job in jobs
+            for a in job.arrays
+        )
+        shm = self._arena.ensure(max(total, 1))
+        buf = np.frombuffer(shm.buf, dtype=np.uint8)
+        offset = 0
+        descs: list[_JobDesc] = []
+        for job in jobs:
+            slots: list[tuple[int, str, int]] = []
+            for a in job.arrays:
+                flat = a.reshape(-1).view(np.uint8)
+                buf[offset : offset + a.nbytes] = flat
+                slots.append((offset, str(a.dtype), a.size))
+                offset += (a.nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+            descs.append(
+                _JobDesc(
+                    shm_name=shm.name,
+                    slots=tuple(slots),
+                    entry=job.entry,
+                    meta=job.meta,
+                )
+            )
+        # Drop the packing view *before* anything can raise: a propagating
+        # exception keeps this frame alive in its traceback, and a live
+        # numpy view into the segment would make shm.close() fail with
+        # BufferError at shutdown.
+        del buf
+
+        futures = [
+            (job.rank, job.label, self._executor.submit(_run_job, desc))
+            for job, desc in zip(jobs, descs)
+        ]
+        served: list[int] = []
+        try:
+            for rank, label, fut in futures:
+                try:
+                    out = fut.result(timeout=limit)
+                except BrokenProcessPool as exc:
+                    raise WorkerCrashError(
+                        rank, "worker process died mid-job"
+                    ) from exc
+                except FutureTimeoutError as exc:
+                    raise WorkerCrashError(
+                        rank,
+                        f"no result within {limit}s of real time "
+                        "(worker wedged?)",
+                    ) from exc
+                except Exception as exc:
+                    raise WorkerCrashError(
+                        rank, f"job raised {type(exc).__name__}: {exc}"
+                    ) from exc
+                self._results[rank] = out["result"]
+                self._spans.append(
+                    WorkerSpan(
+                        worker=out["worker"],
+                        rank=rank,
+                        label=label,
+                        begin=out["t0"] - self._t0,
+                        end=out["t1"] - self._t0,
+                        dispatch=self.dispatches,
+                    )
+                )
+                served.append(rank)
+                self.jobs_run += 1
+        finally:
+            self._pending.clear()
+        self.dispatches += 1
+        return served
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop the workers and unlink the arena (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        self._arena.close()
+        self._pending.clear()
+        self._results.clear()
+
+    def __enter__(self) -> "SuperstepPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.shutdown()
+        except Exception:
+            pass
