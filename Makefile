@@ -7,12 +7,13 @@ PYTHON ?= python
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
-lint:           ## ruff (configured in pyproject.toml); no-op if not installed
+lint:           ## ruff (if installed) + docstring-coverage gate
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src tests benchmarks examples; \
 	else \
 		echo "ruff is not installed (python -m pip install ruff); skipping lint"; \
 	fi
+	$(PYTHON) tools/check_docstrings.py
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -107,12 +107,13 @@ def _run_case(
     workers: tuple[int, ...],
     reps: int,
     pools: dict[int, SuperstepPool],
+    store: Any = None,
 ) -> dict[str, Any]:
     graph = rmat_graph(case.scale, seed=case.seed)
     seq_cfg = case.cfg.replace(executor="sequential")
 
     seq_s, seq_res = _best_of(
-        lambda: count_triangles_2d(graph, case.p, seq_cfg), reps
+        lambda: count_triangles_2d(graph, case.p, seq_cfg, cache=store), reps
     )
     out: dict[str, Any] = {
         "name": case.name,
@@ -126,7 +127,7 @@ def _run_case(
         cfg = case.cfg.replace(executor="parallel", workers=w)
         par_s, par_res = _best_of(
             lambda: count_triangles_2d(
-                graph, case.p, cfg, superstep=pools[w]
+                graph, case.p, cfg, superstep=pools[w], cache=store
             ),
             reps,
         )
@@ -150,12 +151,28 @@ def run_bench(
     smoke: bool = False,
     reps: int = 3,
     workers: tuple[int, ...] = WORKERS,
+    store_dir: str | None = None,
 ) -> dict[str, Any]:
-    """Run the sweep and return the JSON-serializable report."""
+    """Run the sweep and return the JSON-serializable report.
+
+    With ``store_dir`` every run shares one preprocessing cache
+    (:mod:`repro.graph.store`): the first repetition warms it, every
+    later one skips the ppt phase, so the measured wall times isolate the
+    executor-under-test (tct) instead of re-paying identical setup.
+    Counts and virtual clocks are unaffected — cached and fresh runs are
+    bit-identical by construction.
+    """
     cases = SMOKE_CASES if smoke else CASES
+    store = None
+    if store_dir:
+        from repro.graph.store import GraphStore
+
+        store = GraphStore(store_dir)
     pools = {w: SuperstepPool(workers=w) for w in workers}
     try:
-        results = [_run_case(c, workers, reps, pools) for c in cases]
+        results = [
+            _run_case(c, workers, reps, pools, store=store) for c in cases
+        ]
     finally:
         for pool in pools.values():
             pool.shutdown()
@@ -219,6 +236,13 @@ def main(argv: list[str] | None = None) -> int:
         help="worker counts to sweep (default: 1 2 4)",
     )
     ap.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="share a preprocessing cache across runs/reps (first rep "
+        "warms it, later reps skip the ppt phase; counts unchanged)",
+    )
+    ap.add_argument(
         "--out",
         default="BENCH_parallel.json",
         help="output JSON path ('-' for stdout only)",
@@ -231,7 +255,10 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
 
     report = run_bench(
-        smoke=args.smoke, reps=args.reps, workers=tuple(args.workers)
+        smoke=args.smoke,
+        reps=args.reps,
+        workers=tuple(args.workers),
+        store_dir=args.store,
     )
     text = json.dumps(report, indent=2) + "\n"
     if args.out == "-":

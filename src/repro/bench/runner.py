@@ -3,10 +3,18 @@
 Table 2, Figures 1-3 and Tables 3-4 all consume the same
 (dataset x rank-count) grid of 2D-algorithm runs; running it once and
 sharing the results keeps the full benchmark suite's wall time sane.
+
+When ``REPRO_STORE_DIR`` is set, runs additionally read/write the
+on-disk preprocessing cache (:mod:`repro.graph.store`), so repeated
+benchmark invocations across *processes* skip the ppt phase too.  Tables
+that report preprocessing cost stay honest: a warm hit replays the ppt
+statistics the cold run recorded, which — the engine being deterministic
+— are bit-identical to what a fresh run would measure.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterable
 
 from repro.bench.calibration import paper_model
@@ -15,6 +23,17 @@ from repro.graph.datasets import load_dataset
 from repro.simmpi import MachineModel
 
 _CACHE: dict[tuple, TriangleCountResult] = {}
+
+
+def _store():
+    """The shared on-disk store, or ``None`` when ``REPRO_STORE_DIR`` is
+    unset (opt-in: plain test runs must not write to the user's home)."""
+    root = os.environ.get("REPRO_STORE_DIR")
+    if not root:
+        return None
+    from repro.graph.store import GraphStore
+
+    return GraphStore(root)
 
 
 def _cfg_key(cfg: TC2DConfig) -> tuple:
@@ -44,7 +63,7 @@ def run_point(
     if key not in _CACHE:
         graph = load_dataset(dataset, seed=seed)
         _CACHE[key] = count_triangles_2d(
-            graph, p, cfg=cfg, model=model, dataset=dataset
+            graph, p, cfg=cfg, model=model, dataset=dataset, cache=_store()
         )
     return _CACHE[key]
 

@@ -20,6 +20,9 @@ Commands
 ``chaos``
     Seeded fault-injection sweep with checkpoint/restart recovery
     (forwards to ``python -m repro.resilience.chaos``).
+``store``
+    Manage the content-addressed preprocessing cache
+    (``list`` / ``verify`` / ``prune`` / ``warm``; see docs/datasets.md).
 
 One ``--seed`` governs everything derived from randomness: the scaled
 dataset generators (via ``--seed`` on ``count``/``profile``/``census``),
@@ -74,6 +77,29 @@ def _dataset_spec(args: argparse.Namespace) -> str:
     return spec
 
 
+def _cache_arg(args: argparse.Namespace):
+    """Resolve ``--cache``/``--store`` into the driver's ``cache=`` value."""
+    store_dir = getattr(args, "store", None)
+    if store_dir:
+        return store_dir
+    return True if getattr(args, "cache", False) else None
+
+
+def _print_cache_status(res) -> None:
+    """One line saying whether the run hit or warmed the store."""
+    info = res.extras.get("cache")
+    if not info:
+        return
+    if info["hit"]:
+        print(
+            f"cache: hit {info['digest'][:12]} "
+            f"({info['nbytes']:,} bytes loaded; preprocessing skipped)"
+        )
+    else:
+        state = "stored" if info.get("stored") else "not stored"
+        print(f"cache: miss {info['digest'][:12]} (artifact {state})")
+
+
 def _cmd_count(args: argparse.Namespace) -> int:
     from repro.baselines import (
         count_triangles_aop,
@@ -109,10 +135,15 @@ def _cmd_count(args: argparse.Namespace) -> int:
     )
     if args.executor == "parallel" and args.algorithm != "tc2d":
         raise SystemExit("--executor parallel is implemented for -a tc2d only")
+    cache = _cache_arg(args)
+    if cache is not None and args.algorithm != "tc2d":
+        raise SystemExit("--cache/--store are implemented for -a tc2d only")
     if args.algorithm == "tc2d":
         res = count_triangles_2d(
-            g, args.ranks, cfg=cfg, model=model, trace=trace_on, dataset=spec
+            g, args.ranks, cfg=cfg, model=model, trace=trace_on, dataset=spec,
+            cache=cache,
         )
+        _print_cache_status(res)
     elif args.algorithm == "summa":
         pr = max(1, int(args.ranks**0.5))
         while args.ranks % pr:
@@ -207,10 +238,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     if args.executor == "parallel" and args.algorithm != "tc2d":
         raise SystemExit("--executor parallel is implemented for -a tc2d only")
+    cache = _cache_arg(args)
+    if cache is not None and args.algorithm != "tc2d":
+        raise SystemExit("--cache/--store are implemented for -a tc2d only")
     if args.algorithm == "tc2d":
         res = count_triangles_2d(
-            g, args.ranks, cfg=cfg, model=paper_model(), trace=True, dataset=spec
+            g, args.ranks, cfg=cfg, model=paper_model(), trace=True,
+            dataset=spec, cache=cache,
         )
+        _print_cache_status(res)
     else:
         pr = max(1, int(args.ranks**0.5))
         while args.ranks % pr:
@@ -288,6 +324,85 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     text, _ = builders[args.experiment]()
     print(text)
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Manage the content-addressed preprocessing cache."""
+    from repro.graph.store import GraphStore
+
+    store = GraphStore(args.dir) if args.dir else GraphStore()
+
+    if args.action == "list":
+        entries = store.entries()
+        if not entries:
+            print(f"store at {store.root}: empty")
+            return 0
+        print(f"store at {store.root}: {len(entries)} entries")
+        for e in entries:
+            if "error" in e:
+                print(f"  {e['digest'][:12]}  BROKEN: {e['error']}")
+                continue
+            g = e["graph"]
+            print(
+                f"  {e['digest'][:12]}  {e['source'] or '(unnamed)':<18} "
+                f"p={e['p']:<3} n={g.get('n'):<8} m={g.get('m'):<9} "
+                f"{e['nbytes']:>12,} bytes  "
+                f"models={len(e['recorded_models'])}"
+            )
+        return 0
+
+    if args.action == "verify":
+        problems = store.verify(args.digest)
+        if problems:
+            for pb in problems:
+                print(f"PROBLEM: {pb}")
+            return 1
+        n = 1 if args.digest else len(store.digests())
+        print(f"store at {store.root}: {n} entries verified, no problems")
+        return 0
+
+    if args.action == "prune":
+        removed = store.prune(args.digest)
+        print(f"store at {store.root}: removed {removed} entries")
+        return 0
+
+    if args.action == "warm":
+        if not args.dataset:
+            raise SystemExit("store warm needs at least one --dataset")
+        from repro.bench.calibration import paper_model
+        from repro.graph.datasets import REGISTRY, DatasetRegistry
+
+        registry = DatasetRegistry(REGISTRY, store=store)
+        model = paper_model()
+        for name in args.dataset:
+            for p in args.ranks:
+                res = registry.warm(name, p, model=model, seed=args.seed)
+                info = res.extras.get("cache", {})
+                state = "hit (already warm)" if info.get("hit") else "stored"
+                print(
+                    f"warm {name} p={p}: {info.get('digest', '')[:12]} "
+                    f"{state}; {res.count:,} triangles"
+                )
+        return 0
+
+    raise SystemExit(f"unknown store action {args.action!r}")
+
+
+def _add_cache_flags(p: argparse.ArgumentParser) -> None:
+    """Preprocessing-cache knobs shared by ``count`` and ``profile``."""
+    p.add_argument(
+        "--cache",
+        action="store_true",
+        help="load/store preprocessed blocks in the default graph store "
+        "($REPRO_STORE_DIR or ~/.cache/repro/store); a hit skips the ppt "
+        "phase with bit-identical results (see docs/datasets.md)",
+    )
+    p.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="like --cache but with an explicit store root directory",
+    )
 
 
 def _add_executor_flags(p: argparse.ArgumentParser) -> None:
@@ -375,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-phase/imbalance/comm observability report",
     )
+    _add_cache_flags(c)
     _add_executor_flags(c)
     c.set_defaults(fn=_cmd_count)
 
@@ -413,6 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include the dense rank-to-rank message matrix",
     )
+    _add_cache_flags(pr)
     _add_executor_flags(pr)
     pr.set_defaults(fn=_cmd_profile)
 
@@ -434,6 +551,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments for the chaos harness (e.g. --smoke --out DIR)",
     )
     ch.set_defaults(fn=_cmd_chaos)
+
+    st = sub.add_parser(
+        "store",
+        help="manage the content-addressed preprocessing cache",
+        description="List, verify, prune or warm the graph store "
+        "(see docs/datasets.md for the layout and digest rules).",
+    )
+    st.add_argument(
+        "action", choices=["list", "verify", "prune", "warm"],
+        help="list entries / crc-verify blobs / remove entries / "
+        "preprocess datasets into the store",
+    )
+    st.add_argument(
+        "--dir", default=None,
+        help="store root (default: $REPRO_STORE_DIR or ~/.cache/repro/store)",
+    )
+    st.add_argument(
+        "--digest", default=None,
+        help="restrict verify/prune to one entry (full digest)",
+    )
+    st.add_argument(
+        "--dataset", action="append", default=[],
+        help="dataset to warm (repeatable); registry names only",
+    )
+    st.add_argument(
+        "--ranks", "-p", type=int, nargs="+", default=[16],
+        help="rank counts to warm each dataset at (default: 16)",
+    )
+    st.add_argument("--seed", type=int, default=0)
+    st.set_defaults(fn=_cmd_store)
 
     b = sub.add_parser("bench", help="regenerate a paper table/figure")
     b.add_argument(

@@ -75,9 +75,11 @@ class Block:
 
     @property
     def nnz(self) -> int:
+        """Number of stored entries in the block."""
         return self.dcsr.nnz
 
     def nbytes_estimate(self) -> int:
+        """Approximate resident bytes (payload plus header)."""
         return self.dcsr.nbytes_estimate() + 64
 
     # -- blob wire format -----------------------------------------------------

@@ -134,6 +134,22 @@ class TC2DConfig:
         """Copy with some fields replaced (ablation helper)."""
         return replace(self, **kwargs)
 
+    def store_key(self) -> dict[str, Any]:
+        """The toggles that change the *preprocessing output* (and hence
+        the artifact digest of :mod:`repro.graph.store`).
+
+        Only ``enumeration`` (which side becomes the task block),
+        ``initial_cyclic`` and ``degree_reorder`` (the Section 5.3
+        relabeling steps) alter the blocks preprocessing emits; kernel,
+        executor and serialization toggles only change how the same blocks
+        are consumed, so they deliberately share one cached artifact.
+        """
+        return {
+            "enumeration": self.enumeration,
+            "initial_cyclic": self.initial_cyclic,
+            "degree_reorder": self.degree_reorder,
+        }
+
     #: Configurations used by the Section 7.3 ablation bench.
     @classmethod
     def ablations(cls) -> dict[str, "TC2DConfig"]:

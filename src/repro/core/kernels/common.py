@@ -36,13 +36,16 @@ class KernelStats:
 
     @property
     def hash_insert_steps(self) -> int:
+        """Total insert steps, fast (bitmask) plus slow (probed) path."""
         return self.insert_steps_fast + self.insert_steps_slow
 
     @property
     def probe_steps(self) -> int:
+        """Total probe steps, fast (bitmask) plus slow (probed) path."""
         return self.probe_steps_fast + self.probe_steps_slow
 
     def merge(self, other: "KernelStats") -> None:
+        """Accumulate another block-pair's counters into this record."""
         self.row_visits += other.row_visits
         self.tasks += other.tasks
         self.hash_builds += other.hash_builds

@@ -103,10 +103,12 @@ class LocalRows:
 
     @property
     def labels(self) -> np.ndarray:
+        """The contiguous vertex labels this rank owns: ``[lo, hi)``."""
         return np.arange(self.lo, self.hi, dtype=INDEX_DTYPE)
 
     @property
     def degrees(self) -> np.ndarray:
+        """Degree of each owned vertex, in label order."""
         return self.csr.row_lengths()
 
 

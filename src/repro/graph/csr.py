@@ -248,4 +248,5 @@ class Graph:
         return CSR.from_coo(self.n, rows[keep], cols[keep])
 
     def nbytes_estimate(self) -> int:
+        """Approximate resident bytes of the adjacency structure."""
         return self.adj.nbytes_estimate()

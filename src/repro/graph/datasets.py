@@ -12,17 +12,22 @@ twitter-like     twitter [11]           power-law, triangle-rich social net
 friendster-like  friendster [17]        power-law, almost triangle-free
 ===============  =====================  ====================================
 
-Graphs are generated on demand and cached in-process.  The environment
-variable ``REPRO_DATASET_SCALE`` (a float, default 1.0) scales dataset
-sizes globally: 0.5 halves vertex counts for quick runs, 2.0 doubles them
-for longer, higher-fidelity sweeps.
+Graphs are generated on demand and cached in-process; a
+:class:`DatasetRegistry` constructed with a
+:class:`~repro.graph.store.GraphStore` additionally persists generated
+graphs on disk (keyed by name/seed/scale/registry version) and can warm
+the store's preprocessed artifacts (:meth:`DatasetRegistry.warm`), so the
+CLI, the benchmark suite and the chaos harness share one warm store.  The
+environment variable ``REPRO_DATASET_SCALE`` (a float, default 1.0)
+scales dataset sizes globally: 0.5 halves vertex counts for quick runs,
+2.0 doubles them for longer, higher-fidelity sweeps.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.graph.csr import Graph
 from repro.graph.generators import (
@@ -30,6 +35,14 @@ from repro.graph.generators import (
     powerlaw_cluster_fast,
     rmat_graph,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.graph.store import GraphStore
+
+#: Bump when a generator change alters the graphs a registry name
+#: produces; on-disk graph blobs cached under the old version then miss
+#: instead of serving stale bytes.
+REGISTRY_VERSION = 1
 
 #: Paper Table 1 ground truth, for side-by-side reporting in EXPERIMENTS.md.
 PAPER_TABLE1: dict[str, dict[str, int]] = {
@@ -168,26 +181,115 @@ REGISTRY: dict[str, DatasetSpec] = {
     ),
 }
 
-_CACHE: dict[tuple[str, int, float], Graph] = {}
+class DatasetRegistry:
+    """Named access to the scaled paper analogues, optionally store-backed.
+
+    Wraps a ``name -> DatasetSpec`` mapping with three layers of reuse:
+
+    1. an in-process graph cache keyed by ``(name, seed, scale)``;
+    2. when constructed with (or later given) a
+       :class:`~repro.graph.store.GraphStore`, an on-disk graph-blob
+       cache, so expensive generators run once per machine rather than
+       once per process;
+    3. :meth:`warm`, which preprocesses a named dataset into the store so
+       subsequent counting runs skip the ppt phase entirely.
+    """
+
+    def __init__(
+        self,
+        specs: dict[str, DatasetSpec] | None = None,
+        store: "GraphStore | None" = None,
+    ):
+        self.specs = dict(specs) if specs is not None else dict(REGISTRY)
+        self.store = store
+        self._cache: dict[tuple[str, int, float], Graph] = {}
+
+    def names(self) -> list[str]:
+        """All registered dataset names."""
+        return list(self.specs)
+
+    def spec(self, name: str) -> DatasetSpec:
+        """The :class:`DatasetSpec` for ``name`` (KeyError if unknown)."""
+        if name not in self.specs:
+            raise KeyError(
+                f"unknown dataset {name!r}; available: "
+                f"{', '.join(self.specs)}"
+            )
+        return self.specs[name]
+
+    def provenance(self, name: str, seed: int = 0) -> dict[str, Any]:
+        """How a graph was (or would be) produced: generator identity,
+        seed, global scale and registry version — the store records this
+        next to cached artifacts."""
+        spec = self.spec(name)
+        return {
+            "dataset": spec.name,
+            "paper_name": spec.paper_name,
+            "seed": int(seed),
+            "scale": _scale(),
+            "registry_version": REGISTRY_VERSION,
+        }
+
+    def load(self, name: str, seed: int = 0) -> Graph:
+        """Build (or fetch from the in-process / on-disk cache) a dataset."""
+        spec = self.spec(name)
+        key = (name, seed, _scale())
+        if key in self._cache:
+            return self._cache[key]
+        graph = None
+        store_key = None
+        if self.store is not None:
+            store_key = self.store.graph_key(
+                "dataset", REGISTRY_VERSION, name, seed, _scale()
+            )
+            graph = self.store.load_graph(store_key)
+        if graph is None:
+            graph = spec.builder(seed, _scale())
+            if self.store is not None:
+                self.store.save_graph(store_key, graph)
+        self._cache[key] = graph
+        return graph
+
+    def warm(
+        self,
+        name: str,
+        p: int,
+        cfg: Any = None,
+        model: Any = None,
+        seed: int = 0,
+    ) -> Any:
+        """Preprocess ``name`` at ``p`` ranks into the store (a cold cached
+        run) and return the :class:`~repro.core.counts.TriangleCountResult`.
+        Requires a store; a no-op beyond the count if the artifact is
+        already warm."""
+        if self.store is None:
+            raise ValueError("DatasetRegistry.warm needs a GraphStore")
+        from repro.core.tc2d import count_triangles_2d
+
+        graph = self.load(name, seed=seed)
+        return count_triangles_2d(
+            graph, p, cfg=cfg, model=model, dataset=name, cache=self.store
+        )
+
+    def clear_cache(self) -> None:
+        """Drop the in-process graph cache (on-disk blobs are kept)."""
+        self._cache.clear()
+
+
+#: Default registry instance behind the module-level helpers.
+DEFAULT_REGISTRY = DatasetRegistry(REGISTRY)
 
 
 def dataset_names() -> list[str]:
     """All registered dataset names."""
-    return list(REGISTRY)
+    return DEFAULT_REGISTRY.names()
 
 
 def load_dataset(name: str, seed: int = 0) -> Graph:
     """Build (or fetch from cache) the named dataset."""
-    if name not in REGISTRY:
-        raise KeyError(
-            f"unknown dataset {name!r}; available: {', '.join(REGISTRY)}"
-        )
-    key = (name, seed, _scale())
-    if key not in _CACHE:
-        _CACHE[key] = REGISTRY[name].builder(seed, _scale())
-    return _CACHE[key]
+    return DEFAULT_REGISTRY.load(name, seed=seed)
 
 
 def clear_cache() -> None:
     """Drop all cached datasets (mostly for tests)."""
-    _CACHE.clear()
+    DEFAULT_REGISTRY.clear_cache()

@@ -40,18 +40,22 @@ class DCSR:
 
     @property
     def n_rows(self) -> int:
+        """Number of *present* (non-empty) rows."""
         return self.csr.n_rows
 
     @property
     def nnz(self) -> int:
+        """Number of stored entries."""
         return self.csr.nnz
 
     @property
     def indptr(self) -> np.ndarray:
+        """Row-pointer array of the compacted row structure."""
         return self.csr.indptr
 
     @property
     def indices(self) -> np.ndarray:
+        """Column-index array (concatenated sorted rows)."""
         return self.csr.indices
 
     def row(self, i: int) -> np.ndarray:

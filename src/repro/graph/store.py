@@ -1,0 +1,545 @@
+"""Content-addressed on-disk cache of preprocessed graph artifacts.
+
+The paper's Section 4 preprocessing pipeline (cyclic redistribution,
+distributed degree reorder, U/L split, 2D cyclic distribution) is a pure
+function of the graph bytes, the grid shape and three config toggles —
+yet the reproduction used to re-execute it on every ``repro count``,
+every benchmark table and every chaos sweep.  :class:`GraphStore`
+persists the pipeline's output once and replays it on demand:
+
+* artifacts are keyed by a **content digest** — sha256 over the canonical
+  ``u < v`` edge-list bytes plus the grid shape, the preprocessing-relevant
+  config toggles and the blob/store format versions — so a changed graph,
+  grid or toggle can never alias a stale entry;
+* per-rank state is stored in the same crc32-checked single-buffer blob
+  format blocks travel the simulated wire in
+  (:meth:`~repro.core.blocks.Block.to_blob`), so a corrupted file fails
+  loudly with :class:`~repro.simmpi.errors.BlobChecksumError` instead of
+  silently skewing counts;
+* a JSON manifest records provenance (source dataset, graph stats, config)
+  plus the deterministic ppt-phase statistics of the cold run, keyed by
+  :meth:`~repro.simmpi.costmodel.MachineModel.fingerprint`, so a warm run
+  can report the exact preprocessing cost it skipped (the simulation is
+  deterministic: the recorded numbers *are* what a re-run would measure);
+* a schema bump or half-written entry raises :class:`StoreVersionError`,
+  which :meth:`GraphStore.open_run` turns into automatic invalidation.
+
+On-disk layout (all writes are atomic via temp-file + rename)::
+
+    <root>/
+      objects/<digest>/manifest.json     # schema, provenance, recorded ppt
+      objects/<digest>/rank000.npz       # u/l/task blobs + labels + meta
+      objects/<digest>/rank001.npz
+      ...
+      graphs/<key>.npz                   # generated-dataset graph cache
+
+The default root is ``$REPRO_STORE_DIR`` or ``~/.cache/repro/store``.
+See ``docs/datasets.md`` for the full digest/invalidation rules and the
+``repro store`` CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.blocks import Block
+from repro.graph.csr import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.config import TC2DConfig
+    from repro.simmpi.costmodel import MachineModel
+
+#: Store layout schema.  Bump on any change to the manifest structure or
+#: the per-rank file layout; existing entries then fail with
+#: :class:`StoreVersionError` and are re-preprocessed.
+STORE_SCHEMA_VERSION = 1
+
+#: Version of the :meth:`Block.to_blob` wire format the store persists.
+#: Folded into the artifact digest so a blob layout change orphans (rather
+#: than misreads) old entries.
+BLOB_FORMAT_VERSION = 1
+
+#: Environment variable naming the default store root.
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+
+_RANK_ARRAY_KEYS = ("u", "l", "task")
+
+
+class StoreVersionError(RuntimeError):
+    """A store entry was written under an incompatible schema (or is
+    structurally broken: missing files, digest mismatch).  Callers going
+    through :meth:`GraphStore.open_run` never see it — the entry is
+    invalidated and preprocessing runs fresh."""
+
+
+def default_store_root() -> Path:
+    """The store root used when none is given: ``$REPRO_STORE_DIR`` if
+    set, else ``~/.cache/repro/store``."""
+    env = os.environ.get(STORE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "store"
+
+
+def graph_digest(graph: Graph) -> str:
+    """Stable sha256 of a graph's content (canonical ``u < v`` edge bytes).
+
+    Two graphs digest equal iff they have the same vertex count and the
+    same edge set — independent of how they were generated or loaded.
+    """
+    edges = np.ascontiguousarray(graph.edge_array(), dtype=np.int64)
+    h = hashlib.sha256()
+    h.update(b"repro-graph-v1")
+    h.update(np.array([graph.n, edges.shape[0]], dtype=np.int64).tobytes())
+    h.update(edges.tobytes())
+    return h.hexdigest()
+
+
+def artifact_digest(graph_sha: str, p: int, q: int, cfg: "TC2DConfig") -> str:
+    """Content address of one preprocessed artifact.
+
+    Covers everything the preprocessing output depends on: the graph
+    bytes (via ``graph_sha``), the rank count and grid shape, the
+    preprocessing-relevant config toggles
+    (:meth:`~repro.core.config.TC2DConfig.store_key`), and the blob/store
+    format versions.  Anything else (kernel backend, executor, seeds used
+    only by faults/kernels) deliberately does **not** change the digest.
+    """
+    payload = {
+        "store_schema": STORE_SCHEMA_VERSION,
+        "blob_format": BLOB_FORMAT_VERSION,
+        "graph": graph_sha,
+        "p": int(p),
+        "q": int(q),
+        "cfg": cfg.store_key(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _atomic_write_bytes(path: Path, write_fn) -> None:
+    """Write a file atomically: ``write_fn(tmp_handle)`` then rename."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        write_fn(fh)
+    os.replace(tmp, path)
+
+
+class RunCache:
+    """One run's view of a store entry, handed to the rank program.
+
+    Created by :meth:`GraphStore.open_run`.  ``hit`` is fixed at creation:
+    a hit means every rank loads its blocks from disk inside a ``cache``
+    phase and the ``ppt`` phase stays empty; a miss means preprocessing
+    runs normally and (when ``writable``) each rank persists its blocks as
+    a side effect, after which the driver calls :meth:`finalize` to write
+    the manifest.  Instances are shared by all rank threads — safe because
+    the engine serializes rank execution.
+    """
+
+    def __init__(
+        self,
+        store: "GraphStore",
+        digest: str,
+        graph_sha: str,
+        graph_stats: tuple[int, int],
+        p: int,
+        q: int,
+        cfg: "TC2DConfig",
+        manifest: dict | None,
+        source: str = "",
+        model_fp: str = "",
+        writable: bool = True,
+    ):
+        self.store = store
+        self.digest = digest
+        self.graph_sha = graph_sha
+        self.graph_stats = graph_stats
+        self.p = p
+        self.q = q
+        self.cfg = cfg
+        self.manifest = manifest
+        self.source = source
+        self.model_fp = model_fp
+        self.writable = writable
+        #: (rank -> manifest entry) of files written during a cold run.
+        self._saved: dict[int, dict] = {}
+        #: Bytes loaded per rank during a warm run (for reporting).
+        self.loaded_nbytes = 0
+
+    @property
+    def hit(self) -> bool:
+        """Whether the store already holds this run's artifact."""
+        return self.manifest is not None
+
+    # -- rank-side hooks ----------------------------------------------------
+
+    def load_rank(self, rank: int) -> tuple[Block, Block, Block, int]:
+        """Load (and crc-verify) one rank's blocks from the store.
+
+        Returns ``(u_block, l_block, task_block, nbytes)``; raises
+        :class:`~repro.simmpi.errors.BlobChecksumError` on payload
+        corruption.
+        """
+        path = self.store.rank_path(self.digest, rank)
+        with np.load(path) as doc:
+            blobs = {k: doc[k].copy() for k in _RANK_ARRAY_KEYS}
+        nbytes = int(sum(b.nbytes for b in blobs.values()))
+        self.loaded_nbytes += nbytes
+        return (
+            Block.from_blob(blobs["u"]),
+            Block.from_blob(blobs["l"]),
+            Block.from_blob(blobs["task"]),
+            nbytes,
+        )
+
+    def save_rank(
+        self,
+        rank: int,
+        u_block: Block,
+        l_block: Block,
+        task_block: Block,
+        lo: int,
+        labels: np.ndarray,
+    ) -> None:
+        """Persist one rank's preprocessed state (cold, writable runs only).
+
+        Pure side effect: nothing is charged to the virtual clock, so a
+        cold cached run stays bit-identical to an uncached run.
+        """
+        if self.hit or not self.writable:
+            return
+        blobs = {
+            "u": u_block.to_blob(),
+            "l": l_block.to_blob(),
+            "task": task_block.to_blob(),
+        }
+        path = self.store.rank_path(self.digest, rank)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_bytes(
+            path,
+            lambda fh: np.savez(
+                fh,
+                labels=np.ascontiguousarray(labels, dtype=np.int64),
+                meta=np.array([rank, lo], dtype=np.int64),
+                **blobs,
+            ),
+        )
+        self._saved[rank] = {
+            "file": path.name,
+            "nbytes": int(sum(b.nbytes for b in blobs.values())),
+            "crc32": {k: int(b[6]) for k, b in blobs.items()},
+        }
+
+    # -- driver-side hooks --------------------------------------------------
+
+    def recorded_ppt(self) -> dict | None:
+        """The cold run's ppt statistics for this run's machine-model
+        fingerprint, if the manifest recorded them."""
+        if self.manifest is None:
+            return None
+        return self.manifest.get("recorded", {}).get(self.model_fp)
+
+    def finalize(self, ppt_stats: dict | None = None) -> bool:
+        """After a successful cold run: write the entry manifest.
+
+        ``ppt_stats`` (``ppt_time`` / ``comm_fraction_ppt`` /
+        ``counters_ppt``) is recorded under the model fingerprint so warm
+        runs under the same model can report the skipped phase honestly.
+        Returns False (and writes nothing) if any rank file is missing.
+        """
+        if self.hit or not self.writable:
+            return False
+        if sorted(self._saved) != list(range(self.p)):
+            return False
+        n, m = self.graph_stats
+        doc = {
+            "store_schema": STORE_SCHEMA_VERSION,
+            "blob_format": BLOB_FORMAT_VERSION,
+            "digest": self.digest,
+            "graph": {"sha256": self.graph_sha, "n": n, "m": m},
+            "p": self.p,
+            "q": self.q,
+            "cfg": self.cfg.store_key(),
+            "source": self.source,
+            "ranks": {str(r): e for r, e in sorted(self._saved.items())},
+            "recorded": {},
+        }
+        if ppt_stats is not None and self.model_fp:
+            doc["recorded"][self.model_fp] = ppt_stats
+        self.store.write_manifest(self.digest, doc)
+        self.manifest = doc
+        return True
+
+
+class GraphStore:
+    """Filesystem-backed, content-addressed artifact store.
+
+    One store serves any number of (graph, grid, config) artifacts; the
+    CLI (``repro store``), the benchmark runner, the chaos harness and the
+    dataset registry can all point at the same root and share warm
+    entries.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_store_root()
+        self.objects_dir = self.root / "objects"
+        self.graphs_dir = self.root / "graphs"
+
+    # -- paths --------------------------------------------------------------
+
+    def entry_dir(self, digest: str) -> Path:
+        """Directory holding one artifact's manifest and rank files."""
+        return self.objects_dir / digest
+
+    def manifest_path(self, digest: str) -> Path:
+        """Path of one artifact's ``manifest.json``."""
+        return self.entry_dir(digest) / "manifest.json"
+
+    def rank_path(self, digest: str, rank: int) -> Path:
+        """Path of one artifact's per-rank npz file."""
+        return self.entry_dir(digest) / f"rank{rank:03d}.npz"
+
+    # -- manifest / inventory -----------------------------------------------
+
+    def write_manifest(self, digest: str, doc: dict) -> Path:
+        """Atomically write one entry's manifest; returns its path."""
+        path = self.manifest_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def read_manifest(self, digest: str) -> dict:
+        """Parse and validate one entry's manifest.
+
+        Raises
+        ------
+        FileNotFoundError
+            If the entry has no manifest (never written, or pruned).
+        StoreVersionError
+            If the manifest was written under a different store/blob
+            schema, claims a different digest, or lists rank files that
+            are not on disk.
+        """
+        doc = json.loads(self.manifest_path(digest).read_text())
+        if (
+            doc.get("store_schema") != STORE_SCHEMA_VERSION
+            or doc.get("blob_format") != BLOB_FORMAT_VERSION
+        ):
+            raise StoreVersionError(
+                f"store entry {digest[:12]} has schema "
+                f"{doc.get('store_schema')}/{doc.get('blob_format')}, "
+                f"this build expects {STORE_SCHEMA_VERSION}/"
+                f"{BLOB_FORMAT_VERSION}"
+            )
+        if doc.get("digest") != digest:
+            raise StoreVersionError(
+                f"store entry {digest[:12]} manifest claims digest "
+                f"{str(doc.get('digest'))[:12]}"
+            )
+        for rank in range(int(doc.get("p", 0))):
+            if not self.rank_path(digest, rank).exists():
+                raise StoreVersionError(
+                    f"store entry {digest[:12]} is missing rank {rank}"
+                )
+        return doc
+
+    def digests(self) -> list[str]:
+        """Digests of every entry directory under ``objects/``."""
+        if not self.objects_dir.is_dir():
+            return []
+        return sorted(d.name for d in self.objects_dir.iterdir() if d.is_dir())
+
+    def entries(self) -> list[dict]:
+        """One summary dict per entry (broken entries flagged, not raised)."""
+        out = []
+        for digest in self.digests():
+            row: dict[str, Any] = {"digest": digest}
+            try:
+                doc = self.read_manifest(digest)
+            except FileNotFoundError:
+                row["error"] = "no manifest (incomplete write?)"
+            except StoreVersionError as exc:
+                row["error"] = str(exc)
+            else:
+                row.update(
+                    source=doc.get("source", ""),
+                    p=doc.get("p"),
+                    q=doc.get("q"),
+                    graph=doc.get("graph", {}),
+                    cfg=doc.get("cfg", {}),
+                    nbytes=sum(
+                        e.get("nbytes", 0) for e in doc.get("ranks", {}).values()
+                    ),
+                    recorded_models=sorted(doc.get("recorded", {})),
+                )
+            out.append(row)
+        return out
+
+    def verify(self, digest: str | None = None) -> list[str]:
+        """Deep-check entries: manifest schema, file presence, and a full
+        crc-verified deserialization of every blob.  Returns a list of
+        problem strings (empty = healthy)."""
+        from repro.simmpi.errors import BlobChecksumError
+
+        problems = []
+        targets = [digest] if digest is not None else self.digests()
+        for d in targets:
+            try:
+                doc = self.read_manifest(d)
+            except (FileNotFoundError, StoreVersionError) as exc:
+                problems.append(f"{d[:12]}: {exc}")
+                continue
+            for rank_str, entry in doc.get("ranks", {}).items():
+                rank = int(rank_str)
+                try:
+                    with np.load(self.rank_path(d, rank)) as npz:
+                        blobs = {k: npz[k].copy() for k in _RANK_ARRAY_KEYS}
+                    for key, blob in blobs.items():
+                        Block.from_blob(blob)
+                        want = entry.get("crc32", {}).get(key)
+                        if want is not None and int(blob[6]) != int(want):
+                            problems.append(
+                                f"{d[:12]} rank {rank}: {key} crc32 differs "
+                                "from manifest"
+                            )
+                except BlobChecksumError as exc:
+                    problems.append(f"{d[:12]} rank {rank}: {exc}")
+                except Exception as exc:  # unreadable/truncated file
+                    problems.append(
+                        f"{d[:12]} rank {rank}: {type(exc).__name__}: {exc}"
+                    )
+        return problems
+
+    def invalidate(self, digest: str) -> None:
+        """Remove one entry (its whole directory) from the store."""
+        import shutil
+
+        d = self.entry_dir(digest)
+        if d.is_dir():
+            shutil.rmtree(d)
+
+    def prune(self, digest: str | None = None) -> int:
+        """Remove one entry (or, with ``None``, every entry and every
+        cached graph blob).  Returns the number of entries removed."""
+        if digest is not None:
+            existed = self.entry_dir(digest).is_dir()
+            self.invalidate(digest)
+            return int(existed)
+        count = 0
+        for d in self.digests():
+            self.invalidate(d)
+            count += 1
+        if self.graphs_dir.is_dir():
+            import shutil
+
+            shutil.rmtree(self.graphs_dir)
+        return count
+
+    # -- run integration ----------------------------------------------------
+
+    def open_run(
+        self,
+        graph: Graph,
+        p: int,
+        cfg: "TC2DConfig",
+        model: "MachineModel | None" = None,
+        source: str = "",
+        writable: bool = True,
+    ) -> RunCache:
+        """Resolve the artifact for one run and return its :class:`RunCache`.
+
+        A schema-incompatible or structurally broken entry is invalidated
+        here (automatic invalidation): the run then proceeds as a cold
+        miss and rewrites the entry under the current schema.
+        """
+        from repro.core.grid import ProcessorGrid
+        from repro.simmpi.costmodel import MachineModel
+
+        q = ProcessorGrid.for_ranks(p).q
+        graph_sha = graph_digest(graph)
+        digest = artifact_digest(graph_sha, p, q, cfg)
+        model_fp = (model if model is not None else MachineModel()).fingerprint()
+        manifest: dict | None = None
+        try:
+            manifest = self.read_manifest(digest)
+        except FileNotFoundError:
+            if self.entry_dir(digest).is_dir():
+                # Rank files without a manifest: a cold run died before
+                # finalize.  Start over.
+                self.invalidate(digest)
+        except StoreVersionError:
+            self.invalidate(digest)
+        return RunCache(
+            store=self,
+            digest=digest,
+            graph_sha=graph_sha,
+            graph_stats=(int(graph.n), int(graph.num_edges)),
+            p=p,
+            q=q,
+            cfg=cfg,
+            manifest=manifest,
+            source=source,
+            model_fp=model_fp,
+            writable=writable,
+        )
+
+    # -- generated-graph cache ----------------------------------------------
+
+    def graph_key(self, *parts: Any) -> str:
+        """Content key for a cached generated graph (hash of ``parts``)."""
+        blob = json.dumps([str(p) for p in parts], separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def graph_path(self, key: str) -> Path:
+        """Path of one cached graph blob."""
+        return self.graphs_dir / f"{key}.npz"
+
+    def load_graph(self, key: str) -> Graph | None:
+        """Fetch a cached generated graph, or ``None`` on miss."""
+        from repro.graph.io import load_npz
+
+        path = self.graph_path(key)
+        if not path.exists():
+            return None
+        try:
+            return load_npz(path)
+        except Exception:
+            # A truncated blob is a miss, not an error: regenerate.
+            path.unlink(missing_ok=True)
+            return None
+
+    def save_graph(self, key: str, graph: Graph) -> None:
+        """Persist a generated graph under ``key`` (atomic)."""
+        from repro.graph.io import save_npz
+
+        self.graphs_dir.mkdir(parents=True, exist_ok=True)
+        path = self.graph_path(key)
+        tmp = path.with_name(path.name + ".tmp.npz")
+        save_npz(graph, tmp)
+        os.replace(tmp, path)
+
+
+def resolve_store(cache: Any) -> "GraphStore | None":
+    """Coerce a driver-level ``cache=`` argument into a :class:`GraphStore`.
+
+    Accepts ``None`` (no caching), ``True`` (default root), a path, or an
+    existing :class:`GraphStore` (returned as-is).
+    """
+    if cache is None or isinstance(cache, GraphStore):
+        return cache
+    if cache is True:
+        return GraphStore()
+    if isinstance(cache, (str, Path)):
+        return GraphStore(cache)
+    raise TypeError(
+        f"cache must be None, True, a path or a GraphStore; got {cache!r}"
+    )

@@ -122,11 +122,16 @@ def run_case(
     graph: Graph | None = None,
     baseline: int | None = None,
     base_cfg: TC2DConfig | None = None,
+    store: Any = None,
 ) -> CaseResult:
     """Execute one chaos case; never raises (failures land in the row).
 
     ``base_cfg`` carries run-wide toggles (executor, workers,
     real_timeout, ...); the case's fault-plan seed is layered on top.
+    ``store`` (an optional :class:`~repro.graph.store.GraphStore`) lets
+    the fault-free baseline warm the preprocessing cache and every
+    recovery attempt start counting off it — the store layer itself is
+    then also exercised under chaos, read-only (fault runs never write).
     """
     from repro.core.grid import ProcessorGrid
 
@@ -135,7 +140,9 @@ def run_case(
     if graph is None:
         graph = GRAPH_GENERATORS[case.graph_name](case.seed % 100)
     if baseline is None:
-        baseline = count_triangles_2d(graph, case.p, base_cfg).count
+        baseline = count_triangles_2d(
+            graph, case.p, base_cfg, cache=store
+        ).count
     q = ProcessorGrid.for_ranks(case.p).q
     plan = FaultPlan.random(
         case.seed, case.p, q, n_faults=_FAULTS_PER_SCHEDULE
@@ -154,6 +161,7 @@ def run_case(
             policy=policy,
             checkpoint_interval=checkpoint_interval,
             trace=out_dir is not None,
+            cache=store,
         )
     except ResilienceExhaustedError as exc:
         return CaseResult(
@@ -237,6 +245,7 @@ def sweep(
     out_dir: Path | None = None,
     verbose: bool = True,
     base_cfg: TC2DConfig | None = None,
+    store: Any = None,
 ) -> list[CaseResult]:
     """Run the full chaos matrix; returns one :class:`CaseResult` per cell."""
     base_cfg = base_cfg if base_cfg is not None else TC2DConfig()
@@ -252,7 +261,7 @@ def sweep(
             key = (gname, p)
             if key not in baseline_cache:
                 baseline_cache[key] = count_triangles_2d(
-                    g, p, base_cfg
+                    g, p, base_cfg, cache=store
                 ).count
             for s in range(schedules):
                 case = ChaosCase(
@@ -269,6 +278,7 @@ def sweep(
                     graph=g,
                     baseline=baseline_cache[key],
                     base_cfg=base_cfg,
+                    store=store,
                 )
                 results.append(r)
                 if verbose:
@@ -361,6 +371,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock seconds before a wedged rank/worker fails the run "
         "(default 600; CI tightens it)",
     )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="preprocessing-cache store root (see docs/datasets.md): "
+        "fault-free baselines warm it, recovery attempts read from it "
+        "(never write under faults)",
+    )
     parser.add_argument("--quiet", action="store_true")
     return parser
 
@@ -387,6 +403,11 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         real_timeout=args.real_timeout,
     )
+    store = None
+    if args.store:
+        from repro.graph.store import GraphStore
+
+        store = GraphStore(args.store)
     results = sweep(
         graphs,
         ranks,
@@ -397,6 +418,7 @@ def main(argv: list[str] | None = None) -> int:
         out_dir=out_dir,
         verbose=not args.quiet,
         base_cfg=base_cfg,
+        store=store,
     )
     failures = [r for r in results if not r.ok]
     if out_dir is not None:

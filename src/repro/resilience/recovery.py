@@ -170,6 +170,7 @@ def count_triangles_2d_resilient(
     trace: bool = False,
     dataset: str = "",
     superstep: Any = None,
+    cache: Any = None,
 ) -> TriangleCountResult:
     """Count triangles with checkpoint/restart under (optional) faults.
 
@@ -200,6 +201,15 @@ def count_triangles_2d_resilient(
         its pending jobs) and shut down on return.  Recovery semantics
         are executor-independent: checkpoints capture rank-side state
         only, and a restored attempt re-offloads from its resume epoch.
+    cache:
+        Preprocessing cache, as for
+        :func:`~repro.core.tc2d.count_triangles_2d` (``True``, a path, a
+        ``GraphStore`` or a ``RunCache``).  A store hit skips the ppt
+        phase on *every* attempt; a checkpoint restore still takes
+        precedence (it carries later, mid-tct state).  Cache **writes**
+        are disabled whenever a fault plan is active — an injected fault
+        can corrupt preprocessing traffic, and a poisoned artifact would
+        outlive the run — so only fault-free runs warm the store.
 
     Returns
     -------
@@ -217,8 +227,19 @@ def count_triangles_2d_resilient(
     cfg = cfg if cfg is not None else TC2DConfig()
     policy = policy if policy is not None else RecoveryPolicy()
     grid = ProcessorGrid.for_ranks(p)
-    chunks = partition_1d(graph, p)
     injector = FaultInjector(fault_plan) if fault_plan is not None else None
+
+    run_cache = None
+    if cache is not None:
+        from repro.core.tc2d import _open_run_cache
+
+        run_cache = _open_run_cache(cache, graph, p, cfg, model, dataset)
+        if injector is not None:
+            run_cache.writable = False
+    if run_cache is not None and run_cache.hit:
+        chunks = [None] * p
+    else:
+        chunks = partition_1d(graph, p)
 
     tmp = None
     if checkpoint_dir is None:
@@ -253,7 +274,7 @@ def count_triangles_2d_resilient(
                 superstep=pool,
             )
             try:
-                run = engine.run(tc2d_rank_program, chunks, cfg, rctx)
+                run = engine.run(tc2d_rank_program, chunks, cfg, rctx, run_cache)
             except (RankFailedError, DeadlockError, SimMPIError) as exc:
                 fired = len(injector.fired) if injector is not None else 0
                 rec = AttemptRecord(
@@ -300,6 +321,10 @@ def count_triangles_2d_resilient(
             result = assemble_tc2d_result(
                 run, p, cfg, dataset=dataset, keep_run=trace
             )
+            if run_cache is not None:
+                from repro.core.tc2d import _finish_run_cache
+
+                _finish_run_cache(run_cache, result)
             result.algorithm = "tc2d-resilient"
             if pool is not None:
                 result.extras["executor"] = "parallel"

@@ -75,3 +75,89 @@ def test_bench_table1(capsys):
 def test_bench_unknown_exits():
     with pytest.raises(SystemExit):
         main(["bench", "table99"])
+
+
+# -- preprocessing cache (``--store`` / ``repro store``) ----------------------
+
+
+@pytest.fixture()
+def small_datasets(monkeypatch):
+    """Shrink the scaled dataset analogues so CLI cache tests stay fast."""
+    monkeypatch.setenv("REPRO_DATASET_SCALE", "0.0625")
+    from repro.graph.datasets import clear_cache
+
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_store_warm_then_count_skips_ppt(tmp_path, capsys, small_datasets):
+    store = str(tmp_path / "store")
+    assert (
+        main(
+            ["store", "warm", "--dir", store, "--dataset", "g500-s14", "-p", "4"]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+    # Warm run: verified count, cache hit, and a profile report with a
+    # cache phase but zero preprocessing operations.
+    assert (
+        main(
+            [
+                "count", "g500-s14", "-p", "4",
+                "--store", store, "--profile", "--verify",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "cache: hit" in out and "preprocessing skipped" in out
+    assert "cache_io" in out
+    for ppt_op in ("relabel", "csr_build"):  # no ppt-phase ops ran
+        assert ppt_op not in out
+
+
+def test_count_cold_then_warm_same_count(tmp_path, capsys, small_datasets):
+    store = str(tmp_path / "store")
+    argv = ["count", "g500-s14", "-p", "4", "--store", store]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "cache: miss" in cold and "artifact stored" in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "cache: hit" in warm
+    assert [l for l in cold.splitlines() if l.startswith("count=")] == [
+        l for l in warm.splitlines() if l.startswith("count=")
+    ]
+
+
+def test_store_list_verify_prune(tmp_path, capsys, small_datasets):
+    store = str(tmp_path / "store")
+    assert (
+        main(
+            ["store", "warm", "--dir", store, "--dataset", "g500-s12", "-p", "4"]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["store", "list", "--dir", store]) == 0
+    assert "g500-s12" in capsys.readouterr().out
+    assert main(["store", "verify", "--dir", store]) == 0
+    assert "no problems" in capsys.readouterr().out
+    assert main(["store", "prune", "--dir", store]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert main(["store", "list", "--dir", store]) == 0
+    assert "empty" in capsys.readouterr().out
+
+
+def test_cache_flag_rejected_for_other_algorithms(small_datasets, tmp_path):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "count", "g500-s12", "-p", "4", "-a", "summa",
+                "--store", str(tmp_path / "s"),
+            ]
+        )
