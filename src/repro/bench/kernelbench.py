@@ -24,8 +24,6 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
-import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -35,11 +33,26 @@ from repro.core.blocks import Block, build_block
 from repro.core.config import TC2DConfig
 from repro.core.kernels import available_backends, get_backend
 from repro.graph import rmat_graph
+from repro.instrument.telemetry import host_metadata, peak_rss_bytes
 
-#: Artifact schema.  2 adds ``host`` metadata and the
+__all__ = [
+    "SCHEMA",
+    "BACKENDS",
+    "CHECK_TOLERANCE",
+    "BenchCase",
+    "host_metadata",  # moved to repro.instrument.telemetry; re-exported
+    "make_block_triple",
+    "run_bench",
+    "check_regressions",
+    "main",
+]
+
+#: Artifact schema.  2 added ``host`` metadata and the
 #: ``registered_backends`` registry snapshot so numbers from different
 #: machines (or different backend sets) are never compared blindly.
-SCHEMA = 2
+#: 3 adds per-backend total ``wall_s`` and per-case ``peak_rss_bytes``
+#: (process high-water mark after the case ran).
+SCHEMA = 3
 
 #: Backends timed by default ("auto" adds only dispatch overhead on top
 #: of whichever concrete backend it picks, so it is not timed separately).
@@ -127,27 +140,6 @@ SMOKE_CASES = (
 )
 
 
-def host_metadata() -> dict[str, Any]:
-    """Where the numbers came from: CPU budget, interpreter, platform.
-
-    ``usable_cpus`` is the scheduling-affinity count when the OS exposes
-    one (containers often pin fewer cores than ``os.cpu_count()``
-    reports) — it is the honest parallelism budget for this process.
-    """
-    try:
-        usable = len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        usable = os.cpu_count() or 1
-    return {
-        "cpu_count": os.cpu_count(),
-        "usable_cpus": usable,
-        "python": platform.python_version(),
-        "implementation": platform.python_implementation(),
-        "machine": platform.machine(),
-        "system": platform.system(),
-    }
-
-
 def _time_case(
     case: BenchCase, backends: tuple[str, ...], reps: int
 ) -> dict[str, Any]:
@@ -168,14 +160,20 @@ def _time_case(
             )
 
     best = {b: float("inf") for b in backends}
+    total = {b: 0.0 for b in backends}
     for _rep in range(reps):
         for b in backends:  # interleaved so noise hits all backends alike
             fn = fns[b]
             t0 = time.perf_counter()
             fn(t_blk, u_blk, l_blk, case.cfg)
-            best[b] = min(best[b], time.perf_counter() - t0)
+            dt = time.perf_counter() - t0
+            best[b] = min(best[b], dt)
+            total[b] += dt
 
-    timings = {b: {"best_ms": best[b] * 1e3, "reps": reps} for b in backends}
+    timings = {
+        b: {"best_ms": best[b] * 1e3, "reps": reps, "wall_s": total[b]}
+        for b in backends
+    }
     out: dict[str, Any] = {
         "name": case.name,
         "scale": case.scale,
@@ -190,6 +188,9 @@ def _time_case(
         "triangles": int(ref["triangles"]),
         "tasks": int(ref["tasks"]),
         "backends": timings,
+        # Process high-water mark after the case ran; monotone across
+        # cases, so per-case deltas only attribute growth, not reuse.
+        "peak_rss_bytes": peak_rss_bytes(),
     }
     if "row" in best and "batch" in best and best["batch"] > 0:
         out["speedup_batch_vs_row"] = best["row"] / best["batch"]
@@ -225,10 +226,14 @@ def run_bench(
 
 
 def check_regressions(report: dict[str, Any]) -> list[str]:
-    """Regression gate: batch must not be slower than row on any case."""
+    """Regression gate: batch must not be slower than row on any case.
+
+    Reads defensively so artifacts written by older schemas (without
+    ``wall_s``/``peak_rss_bytes``) still check cleanly.
+    """
     failures = []
-    for case in report["cases"]:
-        t = case["backends"]
+    for case in report.get("cases") or []:
+        t = case.get("backends") or {}
         if "row" not in t or "batch" not in t:
             continue
         row_ms, batch_ms = t["row"]["best_ms"], t["batch"]["best_ms"]
@@ -263,6 +268,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 when batch is slower than row on any case",
     )
+    ap.add_argument(
+        "--history",
+        default=None,
+        metavar="DB",
+        help="also append this run's rows to the given history JSONL "
+        "(see `repro history`)",
+    )
     args = ap.parse_args(argv)
 
     report = run_bench(smoke=args.smoke, reps=args.reps)
@@ -272,6 +284,12 @@ def main(argv: list[str] | None = None) -> int:
     else:
         Path(args.out).write_text(text)
         print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.history:
+        from repro.bench.history import RunHistory, rows_from_bench
+
+        n = RunHistory(args.history).append(rows_from_bench(report))
+        print(f"appended {n} rows to {args.history}", file=sys.stderr)
 
     if args.check:
         failures = check_regressions(report)

@@ -43,15 +43,17 @@ import time
 from pathlib import Path
 from typing import Any
 
-from repro.bench.kernelbench import host_metadata
 from repro.core.config import TC2DConfig
 from repro.core.tc2d import count_triangles_2d
 from repro.graph import rmat_graph
+from repro.instrument.telemetry import host_metadata, peak_rss_bytes
 from repro.simmpi.parallel import SuperstepPool
 
 #: Artifact schema (shares the host-metadata convention of
-#: ``BENCH_kernels.json`` schema 2).
-SCHEMA = 1
+#: ``BENCH_kernels.json``).  2 adds total ``wall_s`` and
+#: ``peak_rss_bytes`` to every sequential/parallel entry; ``--check``
+#: still reads schema-1 artifacts (the new fields are optional).
+SCHEMA = 2
 
 #: Worker counts swept by default.
 WORKERS = (1, 2, 4)
@@ -91,15 +93,19 @@ SMOKE_CASES = (
 )
 
 
-def _best_of(fn, reps: int) -> tuple[float, Any]:
-    """Best-of-``reps`` wall time of ``fn()`` plus its (last) result."""
+def _best_of(fn, reps: int) -> tuple[float, float, Any]:
+    """Best-of-``reps`` and total wall time of ``fn()`` plus its (last)
+    result."""
     best = float("inf")
+    total = 0.0
     out = None
     for _ in range(reps):
         t0 = time.perf_counter()
         out = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, out
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+        total += dt
+    return best, total, out
 
 
 def _run_case(
@@ -112,7 +118,7 @@ def _run_case(
     graph = rmat_graph(case.scale, seed=case.seed)
     seq_cfg = case.cfg.replace(executor="sequential")
 
-    seq_s, seq_res = _best_of(
+    seq_s, seq_total, seq_res = _best_of(
         lambda: count_triangles_2d(graph, case.p, seq_cfg, cache=store), reps
     )
     out: dict[str, Any] = {
@@ -120,12 +126,17 @@ def _run_case(
         "scale": case.scale,
         "p": case.p,
         "triangles": int(seq_res.count),
-        "sequential": {"best_s": seq_s, "reps": reps},
+        "sequential": {
+            "best_s": seq_s,
+            "reps": reps,
+            "wall_s": seq_total,
+            "peak_rss_bytes": peak_rss_bytes(),
+        },
         "parallel": {},
     }
     for w in workers:
         cfg = case.cfg.replace(executor="parallel", workers=w)
-        par_s, par_res = _best_of(
+        par_s, par_total, par_res = _best_of(
             lambda: count_triangles_2d(
                 graph, case.p, cfg, superstep=pools[w], cache=store
             ),
@@ -136,6 +147,8 @@ def _run_case(
         out["parallel"][str(w)] = {
             "best_s": par_s,
             "reps": reps,
+            "wall_s": par_total,
+            "peak_rss_bytes": peak_rss_bytes(),
             "count_match": match,
             "speedup_vs_sequential": speedup,
         }
@@ -188,12 +201,16 @@ def run_bench(
 
 
 def check_regressions(report: dict[str, Any]) -> list[str]:
-    """Core-aware regression gate (see the module docstring)."""
+    """Core-aware regression gate (see the module docstring).
+
+    Reads defensively so schema-1 artifacts (without ``wall_s``/
+    ``peak_rss_bytes``) still check cleanly.
+    """
     failures: list[str] = []
-    usable = int(report["host"]["usable_cpus"])
-    for case in report["cases"]:
-        seq_s = case["sequential"]["best_s"]
-        for w_str, row in case["parallel"].items():
+    usable = int((report.get("host") or {}).get("usable_cpus", 1))
+    for case in report.get("cases") or []:
+        seq_s = (case.get("sequential") or {}).get("best_s", 0.0)
+        for w_str, row in (case.get("parallel") or {}).items():
             w = int(w_str)
             tag = f"{case['name']} (workers={w})"
             if not row["count_match"]:
@@ -252,6 +269,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 on count divergence or core-aware speedup regression",
     )
+    ap.add_argument(
+        "--history",
+        default=None,
+        metavar="DB",
+        help="also append this run's rows to the given history JSONL "
+        "(see `repro history`)",
+    )
     args = ap.parse_args(argv)
 
     report = run_bench(
@@ -266,6 +290,12 @@ def main(argv: list[str] | None = None) -> int:
     else:
         Path(args.out).write_text(text)
         print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.history:
+        from repro.bench.history import RunHistory, rows_from_bench
+
+        n = RunHistory(args.history).append(rows_from_bench(report))
+        print(f"appended {n} rows to {args.history}", file=sys.stderr)
 
     if args.check:
         failures = check_regressions(report)

@@ -23,13 +23,22 @@ Commands
 ``store``
     Manage the content-addressed preprocessing cache
     (``list`` / ``verify`` / ``prune`` / ``warm``; see docs/datasets.md).
+``diff``
+    Compare two telemetry records produced by ``count --telemetry``
+    (per-phase wall/virtual deltas, pool buckets, memory).
+``history``
+    Append-only benchmark run database: ``append`` telemetry records or
+    bench reports, ``list`` rows, ``check`` the newest rows against a
+    committed baseline (the CI regression gate).
 
 One ``--seed`` governs everything derived from randomness: the scaled
 dataset generators (via ``--seed`` on ``count``/``profile``/``census``),
 the kernels (via ``TC2DConfig.seed``) and the chaos fault plans.
 
 ``count`` and ``profile`` also accept ``--trace FILE`` to export a
-Perfetto-loadable Chrome trace-event JSON of the run.
+Perfetto-loadable Chrome trace-event JSON of the run, and
+``--telemetry FILE`` to record a structured telemetry record
+(phases, memory, GC, pool buckets; see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -100,6 +109,41 @@ def _print_cache_status(res) -> None:
         print(f"cache: miss {info['digest'][:12]} (artifact {state})")
 
 
+def _start_telemetry(args: argparse.Namespace):
+    """Create + start a Telemetry session when ``--telemetry FILE`` was
+    given (tc2d only — the other algorithms don't plumb it through)."""
+    out = getattr(args, "telemetry", None)
+    if not out:
+        return None
+    if args.algorithm != "tc2d":
+        raise SystemExit("--telemetry is implemented for -a tc2d only")
+    from repro.instrument import Telemetry
+
+    tele = Telemetry(crash_dir=Path(out).parent)
+    tele.start()
+    args._telemetry_obj = tele
+    return tele
+
+
+def _finish_telemetry(args: argparse.Namespace, tele, res) -> None:
+    """Stop the session, write the record JSON and print its report."""
+    import json
+
+    from repro.instrument import telemetry_report
+
+    tele.stop()
+    record = res.extras.get("telemetry")
+    if record is None:  # pragma: no cover - driver always summarizes
+        print("note: run produced no telemetry record")
+        return
+    out = Path(args.telemetry)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(record, indent=2, sort_keys=True, default=str))
+    print(f"wrote telemetry record to {out}")
+    print()
+    print(telemetry_report(record))
+
+
 def _cmd_count(args: argparse.Namespace) -> int:
     from repro.baselines import (
         count_triangles_aop,
@@ -138,10 +182,11 @@ def _cmd_count(args: argparse.Namespace) -> int:
     cache = _cache_arg(args)
     if cache is not None and args.algorithm != "tc2d":
         raise SystemExit("--cache/--store are implemented for -a tc2d only")
+    tele = _start_telemetry(args)
     if args.algorithm == "tc2d":
         res = count_triangles_2d(
             g, args.ranks, cfg=cfg, model=model, trace=trace_on, dataset=spec,
-            cache=cache,
+            cache=cache, telemetry=tele,
         )
         _print_cache_status(res)
     elif args.algorithm == "summa":
@@ -164,6 +209,8 @@ def _cmd_count(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown algorithm {args.algorithm}")
 
     print(res.summary())
+    if tele is not None:
+        _finish_telemetry(args, tele, res)
     _emit_observability(args, res)
     if args.verify:
         want = triangle_count_linalg(g)
@@ -203,8 +250,16 @@ def _emit_observability(args: argparse.Namespace, res) -> None:
                     "note: --trace-workers given but the run recorded no "
                     "worker spans (sequential executor?)"
                 )
+        counters = None
+        tele = getattr(args, "_telemetry_obj", None)
+        if tele is not None:
+            from repro.instrument import counter_samples
+
+            counters = counter_samples(tele.recorder.events()) or None
         try:
-            write_chrome_trace(args.trace, run, worker_spans=worker_spans)
+            write_chrome_trace(
+                args.trace, run, worker_spans=worker_spans, counters=counters
+            )
         except OSError as exc:
             raise SystemExit(f"cannot write trace to {args.trace}: {exc}")
         print(
@@ -241,10 +296,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     cache = _cache_arg(args)
     if cache is not None and args.algorithm != "tc2d":
         raise SystemExit("--cache/--store are implemented for -a tc2d only")
+    tele = _start_telemetry(args)
     if args.algorithm == "tc2d":
         res = count_triangles_2d(
             g, args.ranks, cfg=cfg, model=paper_model(), trace=True,
-            dataset=spec, cache=cache,
+            dataset=spec, cache=cache, telemetry=tele,
         )
         _print_cache_status(res)
     else:
@@ -256,6 +312,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             dataset=spec,
         )
     print(res.summary())
+    if tele is not None:
+        _finish_telemetry(args, tele, res)
     args.profile = True
     _emit_observability(args, res)
     return 0
@@ -388,6 +446,98 @@ def _cmd_store(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown store action {args.action!r}")
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Compare two telemetry records (``repro diff A B``)."""
+    import json
+
+    from repro.instrument.diffing import diff_records, load_record, render_diff
+
+    try:
+        a = load_record(args.a)
+        b = load_record(args.b)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    d = diff_records(a, b)
+    if args.json:
+        print(json.dumps(d, indent=2, sort_keys=True, default=str))
+    else:
+        print(render_diff(d))
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    """Append to / list / regression-check the benchmark run database."""
+    import json
+
+    from repro.bench.history import (
+        RunHistory,
+        check_history,
+        load_baseline,
+        row_from_telemetry,
+        rows_from_bench,
+    )
+
+    db = RunHistory(args.db)
+
+    if args.action == "append":
+        rows: list[dict] = []
+        try:
+            for path in args.record:
+                doc = json.loads(Path(path).read_text())
+                if doc.get("kind") != "repro-telemetry":
+                    raise SystemExit(
+                        f"{path}: not a telemetry record "
+                        f"(kind={doc.get('kind')!r})"
+                    )
+                rows.append(row_from_telemetry(doc))
+            for path in args.bench:
+                rows.extend(rows_from_bench(json.loads(Path(path).read_text())))
+        except OSError as exc:
+            raise SystemExit(str(exc))
+        if not rows:
+            raise SystemExit("history append needs --record and/or --bench")
+        n = db.append(rows)
+        print(f"appended {n} rows to {db.path}")
+        return 0
+
+    if args.action == "list":
+        rows = db.rows()
+        if not rows:
+            print(f"history at {db.path}: empty")
+            return 0
+        print(f"history at {db.path}: {len(rows)} rows")
+        for row in rows:
+            metrics = row.get("metrics") or {}
+            parts = ", ".join(
+                f"{k}={metrics[k]}" for k in sorted(metrics)
+                if metrics[k] is not None
+            )
+            print(
+                f"  {row.get('suite', '?'):<18} {row.get('case', '?'):<22} "
+                f"{parts}"
+            )
+        return 0
+
+    if args.action == "check":
+        if not args.baseline:
+            raise SystemExit("history check needs --baseline FILE")
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc))
+        failures = check_history(db.latest(), baseline)
+        n = len(baseline.get("entries") or [])
+        if failures:
+            for f in failures:
+                print(f"REGRESSION: {f}")
+            print(f"history check: {len(failures)} failures ({n} entries)")
+            return 1
+        print(f"history check: OK ({n} baseline entries)")
+        return 0
+
+    raise SystemExit(f"unknown history action {args.action!r}")
+
+
 def _add_cache_flags(p: argparse.ArgumentParser) -> None:
     """Preprocessing-cache knobs shared by ``count`` and ``profile``."""
     p.add_argument(
@@ -435,6 +585,14 @@ def _add_executor_flags(p: argparse.ArgumentParser) -> None:
         dest="trace_workers",
         help="with --trace: merge the pool's wall-clock worker spans into "
         "the export as an extra process track",
+    )
+    p.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        default=None,
+        help="record a structured telemetry JSON (phases, memory, GC, "
+        "pool buckets) to FILE and print its report; with --trace, "
+        "counter tracks (RSS, queue depth) are merged into the export",
     )
 
 
@@ -581,6 +739,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     st.add_argument("--seed", type=int, default=0)
     st.set_defaults(fn=_cmd_store)
+
+    d = sub.add_parser(
+        "diff",
+        help="compare two telemetry records",
+        description="Diff two records written by `count --telemetry` "
+        "(per-phase wall/virtual deltas, pool buckets, memory); warns "
+        "when the runs are keyed by different store digests or "
+        "machine-model fingerprints.",
+    )
+    d.add_argument("a", help="reference telemetry record (JSON)")
+    d.add_argument("b", help="new telemetry record (JSON)")
+    d.add_argument(
+        "--json", action="store_true", help="emit the structured diff as JSON"
+    )
+    d.set_defaults(fn=_cmd_diff)
+
+    h = sub.add_parser(
+        "history",
+        help="append-only benchmark run database + regression gate",
+        description="append: add rows from telemetry records/bench "
+        "reports; list: show rows; check: gate the newest row per "
+        "(suite, case) against a committed baseline file.",
+    )
+    h.add_argument("action", choices=["append", "list", "check"])
+    h.add_argument(
+        "--db", default="BENCH_history.jsonl",
+        help="history JSONL path (default: BENCH_history.jsonl)",
+    )
+    h.add_argument(
+        "--record", action="append", default=[], metavar="FILE",
+        help="telemetry record to append (repeatable)",
+    )
+    h.add_argument(
+        "--bench", action="append", default=[], metavar="FILE",
+        help="parallelbench/kernelbench report to append (repeatable)",
+    )
+    h.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline JSON for `check` (e.g. BENCH_baseline.json)",
+    )
+    h.set_defaults(fn=_cmd_history)
 
     b = sub.add_parser("bench", help="regenerate a paper table/figure")
     b.add_argument(

@@ -363,6 +363,7 @@ def count_triangles_2d(
     keep_run: bool = False,
     superstep: SuperstepPool | None = None,
     cache: Any = None,
+    telemetry: Any = None,
 ) -> TriangleCountResult:
     """Count the triangles of ``graph`` with the 2D algorithm on ``p``
     simulated ranks (``p`` must be a perfect square).
@@ -397,6 +398,15 @@ def count_triangles_2d(
         is bit-identical to a cold run; on a miss the artifact is
         written for next time.  ``result.extras["cache"]`` reports which
         happened.
+    telemetry:
+        Optional :class:`~repro.instrument.telemetry.Telemetry` session
+        (started by the caller).  The run records per-phase executing
+        wall time, pool dispatch buckets and memory/GC samples; the
+        summary record lands in ``result.extras["telemetry"]`` and the
+        flight recorder is dumped (``crash_dir`` permitting) when the
+        run raises — including :class:`~repro.simmpi.errors.
+        WorkerCrashError` from the parallel executor.  Counts, clocks,
+        counters and traces are bit-identical with or without it.
 
     Returns
     -------
@@ -421,16 +431,26 @@ def count_triangles_2d(
         pool = SuperstepPool(workers=cfg.workers, timeout=cfg.real_timeout)
         owned = True
     try:
+        if telemetry is not None:
+            if pool is not None:
+                telemetry.attach_pool(pool)
+            telemetry.begin_run(label=f"{dataset or 'graph'}-p{p}")
         engine = Engine(
             p,
             model=model,
             trace=trace,
             real_timeout=cfg.real_timeout,
             superstep=pool,
+            telemetry=telemetry,
         )
-        run: RunResult = engine.run(
-            tc2d_rank_program, chunks, cfg, None, run_cache
-        )
+        try:
+            run: RunResult = engine.run(
+                tc2d_rank_program, chunks, cfg, None, run_cache
+            )
+        except BaseException as exc:
+            if telemetry is not None:
+                telemetry.crash_dump(reason=type(exc).__name__)
+            raise
         result = assemble_tc2d_result(
             run, p, cfg, dataset=dataset, keep_run=keep_run or trace
         )
@@ -439,6 +459,10 @@ def count_triangles_2d(
             result.extras["executor"] = "parallel"
             result.extras["workers"] = pool.workers
             result.extras["worker_spans"] = pool.drain_spans()
+        if telemetry is not None:
+            result.extras["telemetry"] = telemetry.summarize(
+                result=result, run=run, model=engine.model, cfg=cfg
+            )
         return result
     finally:
         if owned:

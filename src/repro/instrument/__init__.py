@@ -8,7 +8,11 @@ The subsystem has four pieces, all driven by the records a
 * :mod:`repro.instrument.commmatrix` — rank-to-rank message/byte matrix;
 * :mod:`repro.instrument.waits` — wait-for edges and critical-path walk;
 * :mod:`repro.instrument.chrometrace` — Perfetto/Chrome trace-event JSON
-  export of the span trace.
+  export of the span trace;
+* :mod:`repro.instrument.telemetry` — wall-clock runtime telemetry: the
+  structured event bus, flight-recorder ring buffer, RSS/GC/tracemalloc
+  samplers and the per-run record ``repro diff`` compares;
+* :mod:`repro.instrument.diffing` — compare two recorded telemetry runs.
 
 Plus the report/counter helpers that predate the layer
 (:func:`format_table`, :func:`ascii_chart`, :func:`merge_counters`,
@@ -25,9 +29,20 @@ from repro.instrument.chrometrace import (
 )
 from repro.instrument.commmatrix import CommMatrix
 from repro.instrument.counters import counters_diff, merge_counters
+from repro.instrument.diffing import diff_records, load_record, render_diff
 from repro.instrument.metrics import PhaseMetric, RunMetrics, imbalance_factor
 from repro.instrument.profiling import profile_report
 from repro.instrument.report import ascii_chart, format_table
+from repro.instrument.telemetry import (
+    FlightRecorder,
+    Telemetry,
+    TelemetryEvent,
+    counter_samples,
+    host_metadata,
+    peak_rss_bytes,
+    rss_bytes,
+    telemetry_report,
+)
 from repro.instrument.waits import (
     CriticalHop,
     WaitEdge,
@@ -40,19 +55,30 @@ from repro.instrument.waits import (
 __all__ = [
     "CommMatrix",
     "CriticalHop",
+    "FlightRecorder",
     "PhaseMetric",
     "RunMetrics",
+    "Telemetry",
+    "TelemetryEvent",
     "WaitEdge",
     "ascii_chart",
     "chrome_trace",
+    "counter_samples",
     "counters_diff",
     "critical_path",
     "critical_path_table",
+    "diff_records",
     "dumps_chrome_trace",
     "format_table",
+    "host_metadata",
     "imbalance_factor",
+    "load_record",
     "merge_counters",
+    "peak_rss_bytes",
     "profile_report",
+    "render_diff",
+    "rss_bytes",
+    "telemetry_report",
     "wait_edges",
     "wait_table",
     "write_chrome_trace",

@@ -17,15 +17,19 @@ the trace clock.
 * optionally, the parallel executor's wall-clock
   :class:`~repro.simmpi.parallel.WorkerSpan` records become a second
   process (one track per worker pid) so pool occupancy is visible next
-  to the virtual rank timelines.
+  to the virtual rank timelines;
+* optionally, telemetry counter samples (RSS, pool queue depth — see
+  :func:`repro.instrument.telemetry.counter_samples`) become ``"C"``
+  counter tracks on the wall-clock process.
 
 Export is fully deterministic *and executor-invariant*: spans and events
 are emitted rank-major (each rank's records in its own program order —
 which is identical under the sequential and parallel executors — ranks
 concatenated in id order) and serialized with sorted keys, so two runs
 that differ only in executor or in wall-clock interleaving produce
-byte-identical files.  The opt-in worker track is the one exception: it
-records real time and is therefore nondeterministic by nature.
+byte-identical files.  The opt-in worker and counter tracks are the one
+exception: they record real time and are therefore nondeterministic by
+nature.
 """
 
 from __future__ import annotations
@@ -57,14 +61,18 @@ def _span_args(detail: dict[str, Any]) -> dict[str, Any]:
 def chrome_trace(
     run: "RunResult",
     worker_spans: Sequence["WorkerSpan"] | None = None,
+    counters: Sequence[dict[str, Any]] | None = None,
 ) -> dict[str, Any]:
     """Build the trace-event dictionary for a traced ``run``.
 
     ``worker_spans`` (optional) merges the parallel executor's wall-clock
     worker occupancy as a second trace process — one lane per worker
     process, one ``"X"`` event per offloaded job, timestamps in real
-    seconds since pool creation.  Leave it ``None`` (the default) for a
-    fully deterministic export.
+    seconds since pool creation.  ``counters`` (optional) adds ``"C"``
+    counter tracks to the same wall-clock process — each sample a dict
+    with ``t`` (seconds), ``name`` and ``value``, as produced by
+    :func:`repro.instrument.telemetry.counter_samples`.  Leave both
+    ``None`` (the default) for a fully deterministic export.
 
     Raises ``ValueError`` if the run was executed without tracing (there
     would be nothing to export).
@@ -198,7 +206,7 @@ def chrome_trace(
 
     # Optional wall-clock worker track: a second trace process with one
     # lane per worker pid.  Real time, hence nondeterministic; opt-in.
-    if worker_spans:
+    if worker_spans or counters:
         events.append(
             {
                 "ph": "M",
@@ -208,6 +216,7 @@ def chrome_trace(
                 "args": {"name": "superstep workers (wall clock)"},
             }
         )
+    if worker_spans:
         lanes = {
             pid: lane
             for lane, pid in enumerate(sorted({s.worker for s in worker_spans}))
@@ -249,6 +258,23 @@ def chrome_trace(
                 }
             )
 
+    # Optional telemetry counter tracks (RSS, queue depth) on the same
+    # wall-clock process.  Counter events carry no flow ids, so adding
+    # them never renumbers the message arrows above.
+    if counters:
+        for c in counters:
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": _WORKER_PID,
+                    "tid": 0,
+                    "ts": float(c["t"]) * _US,
+                    "name": str(c["name"]),
+                    "cat": "telemetry",
+                    "args": {"value": c["value"]},
+                }
+            )
+
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -263,12 +289,13 @@ def chrome_trace(
 def dumps_chrome_trace(
     run: "RunResult",
     worker_spans: Sequence["WorkerSpan"] | None = None,
+    counters: Sequence[dict[str, Any]] | None = None,
 ) -> str:
     """Serialize :func:`chrome_trace` deterministically (sorted keys,
     fixed separators, trailing newline)."""
     return (
         json.dumps(
-            chrome_trace(run, worker_spans=worker_spans),
+            chrome_trace(run, worker_spans=worker_spans, counters=counters),
             sort_keys=True,
             separators=(",", ":"),
         )
@@ -280,6 +307,7 @@ def write_chrome_trace(
     path,
     run: "RunResult",
     worker_spans: Sequence["WorkerSpan"] | None = None,
+    counters: Sequence[dict[str, Any]] | None = None,
 ) -> None:
     """Write the Perfetto-loadable trace of ``run`` to ``path``.
 
@@ -287,4 +315,6 @@ def write_chrome_trace(
     """
     from pathlib import Path
 
-    Path(path).write_text(dumps_chrome_trace(run, worker_spans=worker_spans))
+    Path(path).write_text(
+        dumps_chrome_trace(run, worker_spans=worker_spans, counters=counters)
+    )

@@ -22,7 +22,11 @@ With ``--out`` the harness writes a ``chaos_report.json`` (one row per
 case), keeps each case's checkpoint directory (with its JSON manifest —
 the artifact CI uploads), and exports Perfetto traces: the successful
 attempt (checkpoint instants visible) plus every failed attempt (the
-injected faults visible as ``cat="fault"`` events).
+injected faults visible as ``cat="fault"`` events).  Each case also runs
+under a :class:`~repro.instrument.telemetry.Telemetry` flight recorder;
+a case that *fails* (budget exhausted, count mismatch, backoff violation)
+dumps its recent event history to ``<out>/flightrec/<case-slug>.json``
+for post-mortem — passing cases write nothing.
 """
 
 from __future__ import annotations
@@ -149,8 +153,15 @@ def run_case(
     )
 
     ckpt_dir = None
+    tele = None
     if out_dir is not None:
+        from repro.instrument.telemetry import Telemetry
+
         ckpt_dir = out_dir / "checkpoints" / _case_slug(case)
+        # Sampler off: chaos cases are milliseconds each; the recorder
+        # still captures phase, pool, fault-attempt and crash events.
+        tele = Telemetry(sample_interval=0.0)
+        tele.start()
     try:
         res = count_triangles_2d_resilient(
             graph,
@@ -162,8 +173,14 @@ def run_case(
             checkpoint_interval=checkpoint_interval,
             trace=out_dir is not None,
             cache=store,
+            telemetry=tele,
         )
     except ResilienceExhaustedError as exc:
+        if tele is not None:
+            tele.recorder.dump(
+                out_dir / "flightrec" / f"{_case_slug(case)}.json",
+                reason=f"{type(exc).__name__}: {exc}",
+            )
         return CaseResult(
             case=case,
             ok=False,
@@ -177,6 +194,9 @@ def run_case(
             if ckpt_dir is not None
             else None,
         )
+    finally:
+        if tele is not None:
+            tele.stop()
 
     restarts = res.extras["restarts"]
     backoffs_ok = all(
@@ -216,6 +236,11 @@ def run_case(
     )
     if out_dir is not None:
         _export_traces(case, res, out_dir)
+        if not ok and tele is not None:
+            tele.recorder.dump(
+                out_dir / "flightrec" / f"{_case_slug(case)}.json",
+                reason=result.error,
+            )
     return result
 
 

@@ -171,6 +171,7 @@ def count_triangles_2d_resilient(
     dataset: str = "",
     superstep: Any = None,
     cache: Any = None,
+    telemetry: Any = None,
 ) -> TriangleCountResult:
     """Count triangles with checkpoint/restart under (optional) faults.
 
@@ -210,6 +211,14 @@ def count_triangles_2d_resilient(
         are disabled whenever a fault plan is active — an injected fault
         can corrupt preprocessing traffic, and a poisoned artifact would
         outlive the run — so only fault-free runs warm the store.
+    telemetry:
+        Optional :class:`~repro.instrument.telemetry.Telemetry` session
+        shared by every attempt.  Each restart begins a fresh per-run
+        window; attempt outcomes (restored epoch, failure type, backoff)
+        are recorded as flight-recorder events, and exhausting the
+        restart budget dumps the recorder before
+        :class:`ResilienceExhaustedError` propagates.  The successful
+        attempt's summary lands in ``result.extras["telemetry"]``.
 
     Returns
     -------
@@ -255,6 +264,9 @@ def count_triangles_2d_resilient(
         pool = SuperstepPool(workers=cfg.workers, timeout=cfg.real_timeout)
         pool_owned = True
 
+    if telemetry is not None and pool is not None:
+        telemetry.attach_pool(pool)
+
     attempts: list[AttemptRecord] = []
     failed_traces: list[AttemptTrace] = []
     try:
@@ -265,6 +277,10 @@ def count_triangles_2d_resilient(
             rctx = ResilienceContext(
                 store, restore_epoch, interval=checkpoint_interval
             )
+            if telemetry is not None:
+                telemetry.begin_run(
+                    label=f"{dataset or 'graph'}-p{p}-attempt{attempt}"
+                )
             engine = Engine(
                 p,
                 model=model,
@@ -272,6 +288,7 @@ def count_triangles_2d_resilient(
                 real_timeout=cfg.real_timeout,
                 fault_injector=injector,
                 superstep=pool,
+                telemetry=telemetry,
             )
             try:
                 run = engine.run(tc2d_rank_program, chunks, cfg, rctx, run_cache)
@@ -286,13 +303,26 @@ def count_triangles_2d_resilient(
                     faults_fired=fired,
                 )
                 attempts.append(rec)
+                if telemetry is not None:
+                    telemetry.note(
+                        "attempt",
+                        attempt=attempt,
+                        restored_epoch=restore_epoch,
+                        outcome=rec.outcome,
+                        faults_fired=fired,
+                        backoff=rec.backoff,
+                    )
                 if trace:
                     failed_traces.append(AttemptTrace(engine.tracer, p))
                 if injector is None:
                     # No faults were injected: this is a real bug, not a
                     # simulated outage — never mask it behind retries.
+                    if telemetry is not None:
+                        telemetry.crash_dump(reason=type(exc).__name__)
                     raise
                 if attempt == policy.max_restarts:
+                    if telemetry is not None:
+                        telemetry.crash_dump(reason="ResilienceExhausted")
                     raise ResilienceExhaustedError(attempt + 1, exc) from exc
                 if policy.sleep and rec.backoff > 0:
                     time.sleep(rec.backoff)
@@ -308,6 +338,13 @@ def count_triangles_2d_resilient(
                     ),
                 )
             )
+            if telemetry is not None:
+                telemetry.note(
+                    "attempt",
+                    attempt=attempt,
+                    restored_epoch=restore_epoch,
+                    outcome="ok",
+                )
             manifest = store.write_manifest(
                 p,
                 grid.q,
@@ -341,6 +378,10 @@ def count_triangles_2d_resilient(
                 None if tmp is not None else str(manifest)
             )
             result.extras["attempt_traces"] = failed_traces
+            if telemetry is not None:
+                result.extras["telemetry"] = telemetry.summarize(
+                    result=result, run=run, model=engine.model, cfg=cfg
+                )
             return result
         raise AssertionError("unreachable: restart loop neither returned nor raised")
     finally:

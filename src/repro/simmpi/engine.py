@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
@@ -153,6 +154,12 @@ class RankContext:
         self.comm = Comm(engine, rank, list(range(engine.num_ranks)), comm_id=0)
         self.mem_bytes = 0
         self.mem_peak = 0
+        #: Open telemetry phase frames: ``[name, enter_wall, parked_s]``.
+        #: Parked time (this rank waiting while others run — see
+        #: ``Engine._yield_to_scheduler``) is subtracted at phase exit so
+        #: the reported wall time is *executing* wall time, immune to the
+        #: scheduler's serialized phase interleaving across ranks.
+        self._tele_frames: list[list] = []
 
     def alloc_mem(self, nbytes: int) -> None:
         """Account ``nbytes`` of live data structures on this rank.
@@ -273,11 +280,14 @@ class RankContext:
         """Scope a named timing phase (nestable)."""
         self.fault_point(f"phase:{name}")
         tr = self.engine.tracer
+        tele = self.engine.telemetry
         ph = self.clock.phase_begin(name)
         span = None
         if tr.enabled:
             tr.emit(self.clock.now, self.rank, "phase_begin", name=ph.name)
             span = tr.span_begin(self.clock.now, self.rank, "phase", ph.name)
+        if tele is not None:
+            self._tele_frames.append([ph.name, time.perf_counter(), 0.0])
         try:
             yield ph
         finally:
@@ -285,6 +295,11 @@ class RankContext:
             if tr.enabled:
                 tr.span_end(self.clock.now, span)
                 tr.emit(self.clock.now, self.rank, "phase_end", name=ph.name)
+            if tele is not None and self._tele_frames:
+                fname, t_enter, parked = self._tele_frames.pop()
+                tele.phase_exit(
+                    self.rank, fname, time.perf_counter() - t_enter - parked
+                )
 
 
 class Engine:
@@ -320,6 +335,14 @@ class Engine:
         Every injected fault is emitted through the tracer as a ``"fault"``
         event plus a ``cat="fault"`` span, so faults are visible in the
         Perfetto export and attributable in the comm matrix.
+    telemetry:
+        Optional :class:`~repro.instrument.telemetry.Telemetry` session.
+        When attached, every :meth:`RankContext.phase` exit reports its
+        *executing* wall time (scheduler-parked time subtracted) into the
+        session's flight recorder and per-phase accumulators.  ``None``
+        (the default) costs one attribute check per phase and per yield;
+        virtual clocks, counters and traces are bit-identical either way
+        (telemetry only observes real time, never simulated state).
     superstep:
         Optional :class:`~repro.simmpi.parallel.SuperstepPool`.  When
         attached, rank programs may call :meth:`RankContext.offload` to
@@ -339,6 +362,7 @@ class Engine:
         real_timeout: float = 600.0,
         fault_injector: Any = None,
         superstep: Any = None,
+        telemetry: Any = None,
     ):
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
@@ -348,6 +372,7 @@ class Engine:
         self.real_timeout = real_timeout
         self.faults = fault_injector
         self.superstep = superstep
+        self.telemetry = telemetry
         self._states: list[_RankState] = []
         self._ctxs: list[RankContext] = []
         self._sched_evt = threading.Event()
@@ -490,10 +515,24 @@ class Engine:
         self._sched_evt.set()
 
     def _yield_to_scheduler(self, st: _RankState) -> None:
-        """Hand the execution token back and park until rescheduled."""
+        """Hand the execution token back and park until rescheduled.
+
+        With telemetry attached, the park duration is added to every open
+        phase frame of this rank so phase exits can report executing wall
+        time: the engine serializes rank execution, so without this
+        correction a phase's wall time would mostly measure *other ranks*
+        running (e.g. after the cache barrier, rank 0 executes its whole
+        first tct epoch before rank 1 leaves its empty ppt phase).
+        """
+        tele = self.telemetry
+        t_park = time.perf_counter() if tele is not None else 0.0
         self._sched_evt.set()
         st.resume.wait()
         st.resume.clear()
+        if tele is not None:
+            parked = time.perf_counter() - t_park
+            for frame in self._ctxs[st.rank]._tele_frames:
+                frame[2] += parked
         if self._aborting:
             raise _Abort()
 

@@ -119,6 +119,54 @@ class WorkerSpan:
         return self.end - self.begin
 
 
+@dataclass
+class PoolStats:
+    """Cumulative wall-clock accounting of a pool's dispatches.
+
+    The four bucket timers **partition** each :meth:`SuperstepPool.
+    dispatch` call's wall time — ``serialize_s`` (arena packing, incl.
+    job-list prep), ``dispatch_s`` (future submission), ``execute_s``
+    (blocked in ``Future.result``) and ``collect_s`` (result/span
+    bookkeeping) sum to ``wall_s`` up to float rounding — so a telemetry
+    report can attribute *all* of the pool's real cost, not sample it.
+
+    Counters are cumulative over the pool's lifetime (pools are reused
+    across engine runs); per-run views subtract a
+    :meth:`SuperstepPool.stats_snapshot` taken at run begin.  ``*_peak``
+    fields are high-water marks and pass through deltas unchanged.
+    """
+
+    dispatches: int = 0
+    jobs: int = 0
+    wall_s: float = 0.0
+    serialize_s: float = 0.0
+    dispatch_s: float = 0.0
+    execute_s: float = 0.0
+    collect_s: float = 0.0
+    payload_bytes: int = 0
+    payload_peak: int = 0  # largest single-dispatch payload
+    queue_peak: int = 0  # most jobs pending at any dispatch
+    #: Per-worker busy seconds (pid -> sum of job durations).
+    worker_busy_s: dict[int, float] = field(default_factory=dict)
+
+    def as_dict(self, arena_capacity: int = 0) -> dict[str, Any]:
+        """JSON-serializable snapshot (telemetry-record ``pool`` field)."""
+        return {
+            "dispatches": self.dispatches,
+            "jobs": self.jobs,
+            "wall_s": self.wall_s,
+            "serialize_s": self.serialize_s,
+            "dispatch_s": self.dispatch_s,
+            "execute_s": self.execute_s,
+            "collect_s": self.collect_s,
+            "payload_bytes": self.payload_bytes,
+            "payload_peak": self.payload_peak,
+            "queue_peak": self.queue_peak,
+            "arena_capacity_bytes": arena_capacity,
+            "worker_busy_s": {str(k): v for k, v in self.worker_busy_s.items()},
+        }
+
+
 @dataclass(frozen=True)
 class _JobDesc:
     """Worker-side description of one job (small and picklable)."""
@@ -303,6 +351,8 @@ class SuperstepPool:
         self._t0 = time.perf_counter()
         self.dispatches = 0
         self.jobs_run = 0
+        self.stats = PoolStats()
+        self._telemetry: Any = None
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -310,6 +360,19 @@ class SuperstepPool:
     def arena_allocations(self) -> int:
         """Shared-memory segment (re)creations so far (reuse metric)."""
         return self._arena.allocations
+
+    def attach_telemetry(self, telemetry: Any) -> None:
+        """Attach a :class:`~repro.instrument.telemetry.Telemetry` session
+        (duck-typed: anything with ``note(kind, **detail)``) so queue
+        depth, arena occupancy, per-job latency and crashes record into
+        its flight recorder.  :attr:`stats` accumulates either way —
+        telemetry only adds the event stream."""
+        self._telemetry = telemetry
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """JSON-serializable copy of :attr:`stats` (plus current arena
+        capacity).  Take one at run begin to compute per-run deltas."""
+        return self.stats.as_dict(arena_capacity=self._arena.capacity)
 
     def pending(self) -> bool:
         """Whether any submitted job is waiting for a dispatch."""
@@ -362,6 +425,13 @@ class SuperstepPool:
             meta=dict(meta or {}),
             label=label or entry,
         )
+        depth = len(self._pending)
+        if depth > self.stats.queue_peak:
+            self.stats.queue_peak = depth
+        if self._telemetry is not None:
+            self._telemetry.note(
+                "pool.queue", depth=depth, rank=rank, label=label or entry
+            )
 
     def dispatch(self, timeout: float | None = None) -> list[int]:
         """Run every pending job concurrently; return the served ranks.
@@ -376,6 +446,11 @@ class SuperstepPool:
             raise SimMPIError("superstep pool is shut down")
         if not self._pending:
             return []
+        # Bucket accounting (see PoolStats): t_start..t_packed is
+        # serialize, ..t_submitted is dispatch, the Future.result waits
+        # sum to execute, and the remaining collection-loop time is
+        # collect — a partition of this call's wall time.
+        t_start = time.perf_counter()
         jobs = [self._pending[r] for r in sorted(self._pending)]
         limit = self.timeout if timeout is None else timeout
 
@@ -408,30 +483,48 @@ class SuperstepPool:
         # numpy view into the segment would make shm.close() fail with
         # BufferError at shutdown.
         del buf
+        t_packed = time.perf_counter()
+        if self._telemetry is not None:
+            self._telemetry.note(
+                "pool.arena",
+                used_bytes=total,
+                capacity_bytes=self._arena.capacity,
+                allocations=self._arena.allocations,
+                jobs=len(jobs),
+            )
 
         futures = [
             (job.rank, job.label, self._executor.submit(_run_job, desc))
             for job, desc in zip(jobs, descs)
         ]
+        t_submitted = time.perf_counter()
         served: list[int] = []
+        execute_s = 0.0
         try:
             for rank, label, fut in futures:
+                t_wait = time.perf_counter()
                 try:
                     out = fut.result(timeout=limit)
                 except BrokenProcessPool as exc:
+                    self._note_crash(rank, "worker process died mid-job")
                     raise WorkerCrashError(
                         rank, "worker process died mid-job"
                     ) from exc
                 except FutureTimeoutError as exc:
+                    self._note_crash(rank, f"no result within {limit}s")
                     raise WorkerCrashError(
                         rank,
                         f"no result within {limit}s of real time "
                         "(worker wedged?)",
                     ) from exc
                 except Exception as exc:
+                    self._note_crash(
+                        rank, f"job raised {type(exc).__name__}: {exc}"
+                    )
                     raise WorkerCrashError(
                         rank, f"job raised {type(exc).__name__}: {exc}"
                     ) from exc
+                execute_s += time.perf_counter() - t_wait
                 self._results[rank] = out["result"]
                 self._spans.append(
                     WorkerSpan(
@@ -445,10 +538,58 @@ class SuperstepPool:
                 )
                 served.append(rank)
                 self.jobs_run += 1
+                busy = out["t1"] - out["t0"]
+                self.stats.worker_busy_s[out["worker"]] = (
+                    self.stats.worker_busy_s.get(out["worker"], 0.0) + busy
+                )
+                if self._telemetry is not None:
+                    # Dispatch latency: submission to worker start (IPC +
+                    # queueing in the executor), comparable because
+                    # perf_counter is CLOCK_MONOTONIC across processes.
+                    self._telemetry.note(
+                        "pool.job",
+                        rank=rank,
+                        label=label,
+                        worker=out["worker"],
+                        dispatch=self.dispatches,
+                        latency_s=out["t0"] - t_submitted,
+                        exec_s=busy,
+                    )
         finally:
             self._pending.clear()
+        t_end = time.perf_counter()
+        st = self.stats
+        st.dispatches += 1
+        st.jobs += len(served)
+        st.wall_s += t_end - t_start
+        st.serialize_s += t_packed - t_start
+        st.dispatch_s += t_submitted - t_packed
+        st.execute_s += execute_s
+        st.collect_s += (t_end - t_submitted) - execute_s
+        st.payload_bytes += total
+        if total > st.payload_peak:
+            st.payload_peak = total
+        if self._telemetry is not None:
+            self._telemetry.note(
+                "pool.dispatch",
+                dispatch=self.dispatches,
+                jobs=len(served),
+                wall_s=t_end - t_start,
+                serialize_s=t_packed - t_start,
+                dispatch_s=t_submitted - t_packed,
+                execute_s=execute_s,
+                collect_s=(t_end - t_submitted) - execute_s,
+                payload_bytes=total,
+            )
         self.dispatches += 1
         return served
+
+    def _note_crash(self, rank: int, reason: str) -> None:
+        """Record a worker crash into the attached telemetry (if any)
+        before the typed error propagates — the driver's crash dump then
+        carries the failing dispatch's event trail."""
+        if self._telemetry is not None:
+            self._telemetry.note("pool.crash", rank=rank, reason=reason)
 
     # -- lifecycle ----------------------------------------------------------
 

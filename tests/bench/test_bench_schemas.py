@@ -1,0 +1,58 @@
+"""Bench artifact schemas: new fields present, old artifacts still read."""
+
+from __future__ import annotations
+
+from repro.bench import kernelbench, parallelbench
+from repro.instrument.telemetry import host_metadata
+
+
+def test_host_metadata_reexport_is_the_telemetry_one():
+    # parallelbench used to import host_metadata from kernelbench; the
+    # canonical home is now the telemetry module and kernelbench
+    # re-exports it, so old import paths keep working.
+    assert kernelbench.host_metadata is host_metadata
+
+
+def test_parallelbench_check_reads_schema1_artifacts():
+    # A schema-1 artifact: no wall_s / peak_rss_bytes, and (worst case)
+    # no host block at all.  The gate must not KeyError.
+    report = {
+        "schema": 1,
+        "cases": [
+            {
+                "name": "rmat9-p4",
+                "scale": 9,
+                "sequential": {"best_s": 1.0, "reps": 3},
+                "parallel": {
+                    "2": {
+                        "best_s": 1.5,
+                        "reps": 3,
+                        "count_match": True,
+                        "speedup_vs_sequential": 0.66,
+                    }
+                },
+            }
+        ],
+    }
+    assert parallelbench.check_regressions(report) == []
+    report["cases"][0]["parallel"]["2"]["count_match"] = False
+    failures = parallelbench.check_regressions(report)
+    assert len(failures) == 1 and "diverged" in failures[0]
+
+
+def test_kernelbench_check_reads_schema2_artifacts():
+    report = {
+        "schema": 2,
+        "cases": [
+            {
+                "name": "rmat9-q3",
+                "backends": {
+                    "row": {"best_ms": 2.0},
+                    "batch": {"best_ms": 1.0},
+                },
+            }
+        ],
+    }
+    assert kernelbench.check_regressions(report) == []
+    report["cases"][0]["backends"]["batch"]["best_ms"] = 3.0
+    assert len(kernelbench.check_regressions(report)) == 1

@@ -79,3 +79,70 @@ def test_untraced_run_refuses_export():
     run = Engine(2).run(program)
     with pytest.raises(ValueError, match="trace"):
         chrome_trace(run)
+
+
+# -- telemetry counter tracks -------------------------------------------------
+
+
+def _counters():
+    return [
+        {"t": 0.0, "name": "rss_bytes", "value": 1000},
+        {"t": 0.5, "name": "pool_queue_depth", "value": 3},
+        {"t": 1.0, "name": "rss_bytes", "value": 2000},
+    ]
+
+
+def test_counter_samples_become_counter_events():
+    doc = chrome_trace(_traced_run(), counters=_counters())
+    cs = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert len(cs) == 3
+    for e in cs:
+        assert e["pid"] == 1 and e["tid"] == 0
+        assert e["cat"] == "telemetry"
+        assert "value" in e["args"]
+    # The wall-clock process gets its name even without worker spans.
+    assert any(
+        e.get("name") == "process_name" and e["pid"] == 1
+        for e in doc["traceEvents"]
+        if e["ph"] == "M"
+    )
+
+
+def test_counters_do_not_renumber_flow_ids():
+    run = _traced_run()
+    plain = chrome_trace(run)
+    with_counters = chrome_trace(run, counters=_counters())
+
+    def flows(doc):
+        return [
+            (e["ph"], e["id"], e["tid"], e["ts"])
+            for e in doc["traceEvents"]
+            if e["ph"] in ("s", "f")
+        ]
+
+    assert flows(plain) == flows(with_counters)
+
+
+def test_no_counters_keeps_export_byte_identical():
+    run = _traced_run()
+    assert dumps_chrome_trace(run) == dumps_chrome_trace(run, counters=None)
+
+
+def test_warm_run_export_contains_cache_load_spans(tmp_path):
+    from repro.graph.store import GraphStore
+
+    g = rmat_graph(8, edge_factor=8, seed=3)
+    store = GraphStore(tmp_path / "store")
+    count_triangles_2d(g, p=4, cache=store)  # cold: warms the store
+    warm = count_triangles_2d(g, p=4, trace=True, cache=store)
+    assert warm.extras["cache"]["hit"]
+    doc = chrome_trace(warm.extras["run"])
+    loads = [
+        e
+        for e in doc["traceEvents"]
+        if e["ph"] == "X" and str(e["name"]).startswith("cache:load:")
+    ]
+    # One load span per rank, all in the cache phase's span category.
+    assert len(loads) == 4
+    digest = warm.extras["cache"]["digest"][:12]
+    assert all(e["name"] == f"cache:load:{digest}" for e in loads)

@@ -113,3 +113,24 @@ def test_main_reports_failures_with_exit_code(tmp_path, monkeypatch):
         ["--graphs", "gnm", "--ranks", "4", "--schedules", "1", "--quiet"]
     )
     assert rc == 1
+
+
+def test_failed_case_dumps_flight_recorder(tmp_path):
+    # seed 40's plan fires an unrecoverable-at-zero-budget fault; with
+    # max_restarts=0 the case fails and must leave a flightrec artifact.
+    case = ChaosCase("gnm", p=4, schedule=0, seed=40)
+    res = run_case(case, RecoveryPolicy(max_restarts=0), out_dir=tmp_path)
+    assert not res.ok
+    dump = tmp_path / "flightrec" / "gnm-p4-s0.json"
+    assert dump.exists()
+    doc = json.loads(dump.read_text())
+    assert doc["kind"] == "repro-flight-recorder"
+    assert "ResilienceExhausted" in doc["reason"]
+    assert doc["events"], "flight recorder dump carries no events"
+
+
+def test_successful_case_leaves_no_flight_recorder(tmp_path):
+    case = ChaosCase("gnm", p=4, schedule=0, seed=_case_seed(0, "gnm", 4, 0))
+    res = run_case(case, RecoveryPolicy(), out_dir=tmp_path)
+    assert res.ok
+    assert not (tmp_path / "flightrec").exists()

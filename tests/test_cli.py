@@ -161,3 +161,137 @@ def test_cache_flag_rejected_for_other_algorithms(small_datasets, tmp_path):
                 "--store", str(tmp_path / "s"),
             ]
         )
+
+
+# -- telemetry / diff / history ----------------------------------------------
+
+
+def test_count_with_telemetry_writes_record(tmp_path, capsys, small_datasets):
+    import json
+
+    out = tmp_path / "tele.json"
+    assert (
+        main(
+            [
+                "count", "g500-s14", "-p", "4",
+                "--telemetry", str(out), "--verify",
+            ]
+        )
+        == 0
+    )
+    text = capsys.readouterr().out
+    assert "OK" in text
+    assert "telemetry:" in text and "phase" in text
+    record = json.loads(out.read_text())
+    assert record["kind"] == "repro-telemetry"
+    assert record["p"] == 4
+    assert set(record["phases"]) == {"ppt", "tct"}
+
+
+def test_telemetry_counters_merge_into_trace(tmp_path, capsys, small_datasets):
+    import json
+
+    trace = tmp_path / "trace.json"
+    assert (
+        main(
+            [
+                "count", "g500-s14", "-p", "4",
+                "--telemetry", str(tmp_path / "tele.json"),
+                "--trace", str(trace),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    doc = json.loads(trace.read_text())
+    assert any(e["ph"] == "C" for e in doc["traceEvents"])
+
+
+def test_telemetry_rejected_for_other_algorithms(tmp_path, small_datasets):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "count", "g500-s12", "-p", "4", "-a", "aop",
+                "--telemetry", str(tmp_path / "t.json"),
+            ]
+        )
+
+
+def test_diff_cold_vs_warm_store(tmp_path, capsys, small_datasets):
+    store = str(tmp_path / "store")
+    cold = tmp_path / "cold.json"
+    warm = tmp_path / "warm.json"
+    argv = ["count", "g500-s14", "-p", "4", "--store", store, "--telemetry"]
+    assert main(argv + [str(cold)]) == 0
+    assert main(argv + [str(warm)]) == 0
+    capsys.readouterr()
+
+    assert main(["diff", str(cold), str(warm)]) == 0
+    text = capsys.readouterr().out
+    assert "ppt" in text and "WARNING" not in text
+
+    assert main(["diff", str(cold), str(warm), "--json"]) == 0
+    import json
+
+    doc = json.loads(capsys.readouterr().out)
+    ppt = doc["phases"]["ppt"]
+    # The warm run skips preprocessing: its ppt exec-wall collapses.
+    assert ppt["wall_b_s"] < max(1e-3, 0.1 * ppt["wall_a_s"])
+
+
+def test_diff_rejects_non_records(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"kind": "something-else"}')
+    with pytest.raises(SystemExit, match="not a telemetry record"):
+        main(["diff", str(bad), str(bad)])
+
+
+def test_history_append_list_check(tmp_path, capsys, small_datasets):
+    import json
+
+    record = tmp_path / "tele.json"
+    db = str(tmp_path / "hist.jsonl")
+    assert (
+        main(
+            ["count", "g500-s14", "-p", "4", "--telemetry", str(record)]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+    assert main(["history", "append", "--db", db, "--record", str(record)]) == 0
+    assert "appended 1 rows" in capsys.readouterr().out
+    assert main(["history", "list", "--db", db]) == 0
+    assert "g500-s14-p4" in capsys.readouterr().out
+
+    count = json.loads(record.read_text())["count"]
+    good = tmp_path / "good.json"
+    good.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "kind": "repro-bench-baseline",
+                "entries": [
+                    {
+                        "suite": "count",
+                        "case": "g500-s14-p4",
+                        "metrics": {"count": {"rule": "equal", "value": count}},
+                    }
+                ],
+            }
+        )
+    )
+    assert main(["history", "check", "--db", db, "--baseline", str(good)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(
+        good.read_text().replace(str(count), str(count + 1), 1)
+    )
+    assert main(["history", "check", "--db", db, "--baseline", str(bad)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_history_append_requires_input(tmp_path):
+    with pytest.raises(SystemExit, match="needs"):
+        main(["history", "append", "--db", str(tmp_path / "h.jsonl")])
