@@ -129,15 +129,29 @@ def rows_from_bench(report: dict[str, Any]) -> list[dict[str, Any]]:
                 }
             )
             for w, row in sorted((case.get("parallel") or {}).items()):
-                rows.append(
-                    {
-                        "suite": suite,
-                        "case": f"{name}-w{w}",
-                        "metrics": _metrics(
-                            row, speedup=row.get("speedup_vs_sequential")
-                        ),
-                    }
+                pool = row.get("pool") or {}
+                wall = pool.get("wall_s") or 0.0
+                overhead = (
+                    (
+                        (pool.get("serialize_s") or 0.0)
+                        + (pool.get("dispatch_s") or 0.0)
+                    )
+                    / wall
+                    if wall > 0.0
+                    else None
                 )
+                entry: dict[str, Any] = {
+                    "suite": suite,
+                    "case": f"{name}-w{w}",
+                    "metrics": _metrics(
+                        row,
+                        speedup=row.get("speedup_vs_sequential"),
+                        pool_overhead_frac=overhead,
+                    ),
+                }
+                if report.get("dispatch") is not None:
+                    entry["dispatch"] = report["dispatch"]
+                rows.append(entry)
         elif suite == "kernel-backends":
             for backend, timing in sorted(
                 (case.get("backends") or {}).items()

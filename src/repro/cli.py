@@ -174,6 +174,8 @@ def _cmd_count(args: argparse.Namespace) -> int:
         kernel_backend=args.kernel,
         executor=args.executor,
         workers=args.workers,
+        dispatch=args.dispatch,
+        offload_ppt=not args.no_offload_ppt,
         real_timeout=args.real_timeout,
         seed=args.seed,
     )
@@ -288,6 +290,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         kernel_backend=args.kernel,
         executor=args.executor,
         workers=args.workers,
+        dispatch=args.dispatch,
+        offload_ppt=not args.no_offload_ppt,
         real_timeout=args.real_timeout,
         seed=args.seed,
     )
@@ -570,6 +574,23 @@ def _add_executor_flags(p: argparse.ArgumentParser) -> None:
         type=int,
         default=0,
         help="worker processes for --executor parallel (0 = cpu count)",
+    )
+    p.add_argument(
+        "--dispatch",
+        choices=["perjob", "batched", "amortized"],
+        default="amortized",
+        help="parallel-executor dispatch strategy: one future per "
+        "rank-epoch kernel (perjob), workers-sized batch futures "
+        "(batched), or batches plus resident-arena block blobs "
+        "published once per run (amortized, default); bit-identical "
+        "results in every mode",
+    )
+    p.add_argument(
+        "--no-offload-ppt",
+        action="store_true",
+        dest="no_offload_ppt",
+        help="keep preprocessing hot phases (counting sort, block "
+        "assembly) on the scheduler thread instead of the worker pool",
     )
     p.add_argument(
         "--real-timeout",

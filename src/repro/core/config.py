@@ -26,6 +26,16 @@ KERNEL_BACKENDS = ("auto", "row", "batch")
 #: worker pool.  Both produce bit-identical results, clocks and traces.
 EXECUTORS = ("sequential", "parallel")
 
+#: Valid dispatch modes for the parallel executor: "perjob" submits one
+#: pool future per rank-epoch kernel (the pre-batching transport, kept
+#: for A/B measurement), "batched" coalesces each drain into at most
+#: ``workers`` futures, and "amortized" additionally publishes the U/L
+#: and task blobs as resident arena slots once per run — the Eq. 6
+#: residue invariant pins every epoch's operand *content* up front, so
+#: steady-state epochs ship only slot references, zero memcpys.  All
+#: three produce bit-identical results, clocks and traces.
+DISPATCH_MODES = ("perjob", "batched", "amortized")
+
 
 @dataclass(frozen=True)
 class TC2DConfig:
@@ -79,6 +89,24 @@ class TC2DConfig:
     workers:
         Worker-process count for the parallel executor; ``0`` means
         ``os.cpu_count()``.  Ignored under ``executor="sequential"``.
+    dispatch:
+        Dispatch strategy for the parallel executor: ``"perjob"`` (one
+        future per rank-epoch kernel), ``"batched"`` (at most
+        ``workers`` futures per drain, one pickle round-trip each) or
+        ``"amortized"`` (default; batched futures *plus* resident-arena
+        U/L/task blobs published once per run, so steady-state epochs
+        copy no block bytes at all).  Amortized residency of the
+        travelling blocks relies on block content being exchange-
+        invariant, so runs with a fault injector attached (which may
+        corrupt in-flight blocks) quietly degrade to ``"batched"``.
+        Ignored under ``executor="sequential"``; bit-identical results
+        either way.
+    offload_ppt:
+        Run the preprocessing hot phases (counting-sort placement, U/L
+        block assembly + blob serialization) on the worker pool when one
+        is attached.  Virtual-clock charges are computed rank-side from
+        sizes, so results stay bit-identical; off restricts the pool to
+        the counting phase.  Ignored under ``executor="sequential"``.
     real_timeout:
         Real (wall-clock) seconds the engine waits for a rank thread or
         a pool worker before declaring the run wedged.  A safety net for
@@ -104,6 +132,8 @@ class TC2DConfig:
     kernel_backend: str = "auto"
     executor: str = "sequential"
     workers: int = 0
+    dispatch: str = "amortized"
+    offload_ppt: bool = True
     real_timeout: float = 600.0
     track_per_shift: bool = True
     seed: int = 0
@@ -127,6 +157,11 @@ class TC2DConfig:
             )
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = cpu count)")
+        if self.dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"dispatch must be one of {DISPATCH_MODES}, "
+                f"got {self.dispatch!r}"
+            )
         if self.real_timeout <= 0:
             raise ValueError("real_timeout must be > 0 seconds")
 

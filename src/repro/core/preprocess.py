@@ -36,6 +36,29 @@ from repro.core.grid import ProcessorGrid
 from repro.graph.csr import CSR, INDEX_DTYPE, Graph
 from repro.simmpi import MAX, SUM
 from repro.simmpi.engine import RankContext
+from repro.simmpi.parallel import take_result_arrays
+
+#: Worker entry points for the offloaded hot phases (string literals, not
+#: imports from :mod:`repro.core.superstep` — that module imports the pure
+#: helpers below, so importing it here would be circular; the pool
+#: resolves entries by import at submit time, when both modules exist).
+_SORT_JOB_ENTRY = "repro.core.superstep:sort_job"
+_BUILD_JOB_ENTRY = "repro.core.superstep:build_blocks_job"
+
+
+def _offload_ppt(ctx: RankContext, cfg: TC2DConfig | None) -> bool:
+    """Whether this rank should run preprocessing hot phases on the pool.
+
+    Requires an attached superstep pool *and* ``cfg.offload_ppt``; the
+    result is bit-identical either way (the offloaded functions are pure
+    and every virtual-clock charge is computed rank-side from sizes), so
+    this is purely a wall-clock routing decision.
+    """
+    return (
+        cfg is not None
+        and cfg.offload_ppt
+        and getattr(ctx.engine, "superstep", None) is not None
+    )
 
 
 @dataclass(frozen=True)
@@ -229,15 +252,43 @@ def translate_labels(
     return values[np.searchsorted(uniq, entries)]
 
 
+def counting_sort_placement(
+    d: np.ndarray, global_start: np.ndarray, prior: np.ndarray
+) -> np.ndarray:
+    """Pure local step of the distributed counting sort: the new label of
+    each owned vertex given its degree ``d[k]``, the global start offset
+    of every degree bucket and the counts contributed by lower ranks.
+
+    Deterministic (stable argsort breaks ties by local position), which
+    is what lets it run either inline or on a pool worker
+    (:func:`repro.core.superstep.sort_job`) with bit-identical output.
+    """
+    n_local = len(d)
+    order = np.argsort(d, kind="stable")
+    d_sorted = d[order]
+    group_first = np.searchsorted(d_sorted, d_sorted, side="left")
+    within = np.arange(n_local, dtype=INDEX_DTYPE) - group_first
+    new_sorted = global_start[d_sorted] + prior[d_sorted] + within
+    new_labels = np.empty(n_local, dtype=INDEX_DTYPE)
+    new_labels[order] = new_sorted
+    return new_labels
+
+
 def degree_reorder(
-    ctx: RankContext, rows: LocalRows, offsets: np.ndarray, n: int
+    ctx: RankContext,
+    rows: LocalRows,
+    offsets: np.ndarray,
+    n: int,
+    cfg: TC2DConfig | None = None,
 ) -> tuple[LocalRows, np.ndarray]:
     """Step 2: relabel vertices in non-decreasing degree order.
 
     Returns the rows with relabeled row-ids *implicit* (the function
     returns ``(rows, new_row_labels)``; entries are already translated).
     Ties order by (owning rank, local stable position), which makes the
-    permutation deterministic.
+    permutation deterministic.  With ``cfg.offload_ppt`` and a pool
+    attached, the local placement runs on a worker (the collectives
+    around it stay on the scheduler).
     """
     comm = ctx.comm
     d = rows.degrees.astype(INDEX_DTYPE)
@@ -261,14 +312,19 @@ def degree_reorder(
         prior = np.zeros(dmax + 1, dtype=INDEX_DTYPE)
     ctx.charge("sort", dmax + 1)
 
-    # Stable local placement within each degree bucket.
-    order = np.argsort(d, kind="stable")
-    d_sorted = d[order]
-    group_first = np.searchsorted(d_sorted, d_sorted, side="left")
-    within = np.arange(n_local, dtype=INDEX_DTYPE) - group_first
-    new_sorted = global_start[d_sorted] + prior[d_sorted] + within
-    new_labels = np.empty(n_local, dtype=INDEX_DTYPE)
-    new_labels[order] = new_sorted
+    # Stable local placement within each degree bucket.  The charge is a
+    # pure function of n_local, so routing the computation through the
+    # pool leaves the virtual clock untouched.
+    if _offload_ppt(ctx, cfg):
+        out = ctx.offload(
+            _SORT_JOB_ENTRY,
+            (d, global_start, prior),
+            meta={"rank": comm.rank},
+            label="ppt:sort",
+        )
+        new_labels = take_result_arrays(out)[0]
+    else:
+        new_labels = counting_sort_placement(d, global_start, prior)
     ctx.charge("sort", n_local)
 
     # Translate adjacency entries through the distributed old->new table.
@@ -280,6 +336,48 @@ def degree_reorder(
 # ---------------------------------------------------------------------------
 # step 3: U/L split + 2D cyclic distribution
 # ---------------------------------------------------------------------------
+
+
+def assemble_blocks(
+    u_recv: np.ndarray,
+    l_recv: np.ndarray,
+    x: int,
+    y: int,
+    q: int,
+    n_rows_local: int,
+    n_cols_local: int,
+    n_inner: int,
+    enumeration: str,
+) -> tuple[Block, Block, Block]:
+    """Pure tail of step 3: build ``(u_block, l_block, task_block)`` from
+    the received U/L coordinate pairs.
+
+    All inputs are plain arrays and scalars, so the assembly (CSR builds
+    with deterministic stable sorts) can run inline or on a pool worker
+    (:func:`repro.core.superstep.build_blocks_job`) with bit-identical
+    blocks.
+    """
+    u_block = build_block(
+        "U-row", x, y, n_rows_local, n_inner, u_recv[:, 0] // q, u_recv[:, 1] // q
+    )
+    # L stored column-major: outer = column (lower endpoint), inner = row.
+    l_block = build_block(
+        "L-col", y, x, n_cols_local, n_inner, l_recv[:, 1] // q, l_recv[:, 0] // q
+    )
+    if enumeration == "jik":
+        task_src = l_recv  # tasks = non-zeros of L: (row j, col i)
+    else:
+        task_src = u_recv  # tasks = non-zeros of U: (row i, col j)
+    task_block = build_block(
+        "task",
+        x,
+        y,
+        n_rows_local,
+        n_cols_local,
+        task_src[:, 0] // q,
+        task_src[:, 1] // q,
+    )
+    return u_block, l_block, task_block
 
 
 def split_and_distribute(
@@ -338,26 +436,36 @@ def split_and_distribute(
     n_cols_local = grid.local_count(y, n)
     n_inner = (n + q - 1) // q  # bound on any residue class's local extent
 
-    u_block = build_block(
-        "U-row", x, y, n_rows_local, n_inner, u_recv[:, 0] // q, u_recv[:, 1] // q
-    )
-    # L stored column-major: outer = column (lower endpoint), inner = row.
-    l_block = build_block(
-        "L-col", y, x, n_cols_local, n_inner, l_recv[:, 1] // q, l_recv[:, 0] // q
-    )
-    if cfg.enumeration == "jik":
-        task_src = l_recv  # tasks = non-zeros of L: (row j, col i)
+    if _offload_ppt(ctx, cfg):
+        # Ship the pair arrays to a worker, get back the three block
+        # blobs through shared memory (crc-verified on reconstruction).
+        # The csr_build charge below only needs sizes, and the blob
+        # round trip is exactly the checkpoint-restore representation,
+        # so the blocks are bit-identical to inline assembly.
+        out = ctx.offload(
+            _BUILD_JOB_ENTRY,
+            (u_recv.reshape(-1), l_recv.reshape(-1)),
+            meta={
+                "rank": comm.rank,
+                "x": x,
+                "y": y,
+                "q": q,
+                "n_rows_local": n_rows_local,
+                "n_cols_local": n_cols_local,
+                "n_inner": n_inner,
+                "enumeration": cfg.enumeration,
+            },
+            label="ppt:build",
+        )
+        u_blob, l_blob, task_blob = take_result_arrays(out)
+        u_block = Block.from_blob(u_blob)
+        l_block = Block.from_blob(l_blob)
+        task_block = Block.from_blob(task_blob)
     else:
-        task_src = u_recv  # tasks = non-zeros of U: (row i, col j)
-    task_block = build_block(
-        "task",
-        x,
-        y,
-        n_rows_local,
-        n_cols_local,
-        task_src[:, 0] // q,
-        task_src[:, 1] // q,
-    )
+        u_block, l_block, task_block = assemble_blocks(
+            u_recv, l_recv, x, y, q, n_rows_local, n_cols_local, n_inner,
+            cfg.enumeration,
+        )
     ctx.charge(
         "csr_build", u_block.nnz + l_block.nnz + task_block.nnz + n_rows_local
     )
@@ -393,7 +501,7 @@ def preprocess_with_labels(
     rows = initial_redistribution(ctx, chunk, cfg)
     offsets = cyclic_bounds(n, p) if cfg.initial_cyclic else chunk_bounds(n, p)
     if cfg.degree_reorder:
-        rows, row_labels = degree_reorder(ctx, rows, offsets, n)
+        rows, row_labels = degree_reorder(ctx, rows, offsets, n, cfg)
     else:
         row_labels = rows.labels
     blocks = split_and_distribute(ctx, rows, row_labels, grid, n, cfg, offsets)

@@ -121,6 +121,7 @@ def diff_records(a: dict[str, Any], b: dict[str, Any]) -> dict[str, Any]:
             }
             for k in (
                 "dispatches",
+                "batches",
                 "jobs",
                 "wall_s",
                 "serialize_s",
@@ -128,6 +129,9 @@ def diff_records(a: dict[str, Any], b: dict[str, Any]) -> dict[str, Any]:
                 "execute_s",
                 "collect_s",
                 "payload_bytes",
+                "resident_puts",
+                "resident_hits",
+                "resident_bytes",
                 "queue_peak",
             )
         }

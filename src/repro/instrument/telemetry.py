@@ -663,7 +663,8 @@ def telemetry_report(record: dict[str, Any]) -> str:
     pool = record.get("pool")
     if pool and pool.get("dispatches"):
         lines.append(
-            f"  pool: {pool['dispatches']} dispatches, {pool.get('jobs', 0)} "
+            f"  pool: {pool['dispatches']} dispatches, "
+            f"{pool.get('batches', 0)} batches, {pool.get('jobs', 0)} "
             f"jobs, wall {pool.get('wall_s', 0.0):.3f}s  "
             f"(serialize {pool.get('serialize_s', 0.0):.3f}s + dispatch "
             f"{pool.get('dispatch_s', 0.0):.3f}s + execute "
@@ -675,6 +676,12 @@ def telemetry_report(record: dict[str, Any]) -> str:
             f"arena {_fmt_bytes(pool.get('arena_capacity_bytes'))} "
             f"capacity, queue peak {pool.get('queue_peak', 0)}"
         )
+        if pool.get("resident_puts") or pool.get("resident_hits"):
+            lines.append(
+                f"  pool residents: {pool.get('resident_puts', 0)} puts "
+                f"({_fmt_bytes(pool.get('resident_bytes'))}), "
+                f"{pool.get('resident_hits', 0)} zero-copy hits"
+            )
         busy = pool.get("worker_busy_s") or {}
         if busy:
             per = ", ".join(

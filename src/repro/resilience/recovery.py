@@ -261,7 +261,11 @@ def count_triangles_2d_resilient(
     if pool is None and cfg.executor == "parallel":
         from repro.simmpi.parallel import SuperstepPool
 
-        pool = SuperstepPool(workers=cfg.workers, timeout=cfg.real_timeout)
+        pool = SuperstepPool(
+            workers=cfg.workers,
+            timeout=cfg.real_timeout,
+            dispatch_mode="perjob" if cfg.dispatch == "perjob" else "batched",
+        )
         pool_owned = True
 
     if telemetry is not None and pool is not None:

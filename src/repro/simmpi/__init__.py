@@ -42,7 +42,7 @@ from repro.simmpi.errors import (
     SimMPIError,
     WorkerCrashError,
 )
-from repro.simmpi.parallel import SuperstepPool, WorkerSpan
+from repro.simmpi.parallel import Resident, SuperstepPool, WorkerSpan
 from repro.simmpi.reduceops import BAND, BOR, MAX, MIN, PROD, SUM, ReduceOp
 from repro.simmpi.tracing import Span, TraceEvent, Tracer
 
@@ -72,6 +72,7 @@ __all__ = [
     "SimMPIError",
     "Span",
     "SUM",
+    "Resident",
     "SuperstepPool",
     "TraceEvent",
     "Tracer",

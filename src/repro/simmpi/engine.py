@@ -275,6 +275,27 @@ class RankContext:
         """
         return self.engine.offload_rank(self.rank, entry, arrays, meta, label)
 
+    def put_resident(self, key: Any, array: Any) -> None:
+        """Publish ``array`` into the superstep pool's resident arena
+        region under ``key`` (see
+        :meth:`repro.simmpi.parallel.SuperstepPool.put_resident`).
+
+        Later :meth:`offload` calls reference the slot with
+        ``Resident(key)`` instead of re-shipping the bytes — the
+        amortized-dispatch move for inputs whose content is invariant
+        across epochs.  Publishing is a real-time-only side effect: the
+        virtual clock, counters and traces never see it.  Requires a
+        pool attached at engine construction.
+        """
+        pool = self.engine.superstep
+        if pool is None:
+            raise SimMPIError(
+                "no superstep pool attached to this engine; construct it "
+                "with Engine(..., superstep=SuperstepPool(...)) or use the "
+                "sequential executor"
+            )
+        pool.put_resident(key, array)
+
     @contextmanager
     def phase(self, name: str) -> Iterator[PhaseStats]:
         """Scope a named timing phase (nestable)."""

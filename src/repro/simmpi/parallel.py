@@ -32,6 +32,38 @@ segment that is reused (grow-only) across dispatches, so an epoch's
 operand blobs cost one ``memcpy`` into the arena and **no pickling of
 array payloads**.  Workers map the segment once and rebuild zero-copy
 views; only the small result dicts come back through the pickle channel.
+Large *results* can ride the same transport in reverse: a worker entry
+returns :func:`pack_result_arrays` (a fresh shm segment owned by the
+parent after :func:`take_result_arrays`), so preprocessing offloads do
+not pickle megabyte outputs either.
+
+Batched dispatch
+----------------
+Submitting one executor future per rank costs one pickle round-trip per
+job — measurably dominant when kernels are small (the fine-grained
+communication failure mode; cf. communication agglomeration in
+Sanders & Uhl).  With ``dispatch_mode="batched"`` (the default) a drain
+coalesces the pending jobs into at most ``workers`` round-robin batches
+and submits **one future per batch**; a worker runs its batch back to
+back and returns the whole result list in one pickle reply.  Per-job
+failure attribution survives batching: an entry that raises is caught
+in the worker and reported per job, so :class:`WorkerCrashError` still
+names the exact rank (a dead worker process or a timeout is attributed
+to every rank of the batch it was running).  ``dispatch_mode="perjob"``
+keeps the one-future-per-job behavior.
+
+Resident blocks
+---------------
+Arrays that are reused across many dispatches (the shift-invariant task
+block; under ``--dispatch amortized`` also the travelling U/L blobs,
+whose *content* is pinned by the Eq. 6 residue invariant even as their
+location rotates) can be published once with
+:meth:`SuperstepPool.put_resident` and referenced in later submissions
+by a :class:`Resident` key instead of re-copying the bytes every epoch.
+Residents live at the front of the arena segment (they survive arena
+growth — the region is copied to the new segment before the old one is
+unlinked) and are dropped by :meth:`SuperstepPool.reset`, which bumps
+``resident_generation`` so stale keys cannot alias across engine runs.
 
 Worker lifecycle (spawn, not fork)
 ----------------------------------
@@ -138,14 +170,18 @@ class PoolStats:
 
     dispatches: int = 0
     jobs: int = 0
+    batches: int = 0  # futures submitted (== jobs under "perjob")
     wall_s: float = 0.0
     serialize_s: float = 0.0
     dispatch_s: float = 0.0
     execute_s: float = 0.0
     collect_s: float = 0.0
-    payload_bytes: int = 0
-    payload_peak: int = 0  # largest single-dispatch payload
+    payload_bytes: int = 0  # transient bytes memcpy'd into the arena
+    payload_peak: int = 0  # largest single-dispatch transient payload
     queue_peak: int = 0  # most jobs pending at any dispatch
+    resident_puts: int = 0  # put_resident calls (writes into the arena)
+    resident_hits: int = 0  # job inputs served from a resident slot
+    resident_bytes: int = 0  # bytes written by put_resident
     #: Per-worker busy seconds (pid -> sum of job durations).
     worker_busy_s: dict[int, float] = field(default_factory=dict)
 
@@ -154,6 +190,7 @@ class PoolStats:
         return {
             "dispatches": self.dispatches,
             "jobs": self.jobs,
+            "batches": self.batches,
             "wall_s": self.wall_s,
             "serialize_s": self.serialize_s,
             "dispatch_s": self.dispatch_s,
@@ -162,9 +199,26 @@ class PoolStats:
             "payload_bytes": self.payload_bytes,
             "payload_peak": self.payload_peak,
             "queue_peak": self.queue_peak,
+            "resident_puts": self.resident_puts,
+            "resident_hits": self.resident_hits,
+            "resident_bytes": self.resident_bytes,
             "arena_capacity_bytes": arena_capacity,
             "worker_busy_s": {str(k): v for k, v in self.worker_busy_s.items()},
         }
+
+
+@dataclass(frozen=True)
+class Resident:
+    """Marker usable in a :meth:`SuperstepPool.submit` ``arrays`` sequence:
+    "this input is the resident slot published under ``key``" — the bytes
+    were written into the arena by an earlier
+    :meth:`~SuperstepPool.put_resident` and are *not* re-copied.
+
+    Keys are arbitrary hashables; rank programs use structured tuples
+    such as ``("task", rank)`` or ``("U", x, inner_residue)``.
+    """
+
+    key: Any
 
 
 @dataclass(frozen=True)
@@ -176,17 +230,29 @@ class _JobDesc:
     slots: tuple[tuple[int, str, int], ...]
     entry: str
     meta: dict
+    #: Virtual rank the job belongs to (per-job failure attribution when
+    #: several jobs ride one batch future).
+    rank: int = -1
 
 
 @dataclass
 class _PendingJob:
-    """Parent-side record of one submitted-but-undispatched job."""
+    """Parent-side record of one submitted-but-undispatched job.
+
+    ``arrays`` elements are either contiguous ndarrays (copied into the
+    arena's transient region at dispatch) or :class:`Resident` markers
+    (resolved to already-written slots, zero copies).
+    """
 
     rank: int
     entry: str
-    arrays: tuple[np.ndarray, ...]
+    arrays: tuple[Any, ...]
     meta: dict
     label: str
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
 class _ShmArena:
@@ -196,37 +262,60 @@ class _ShmArena:
     and unlinks the old one; workers notice the new name on their next
     job and drop their stale mapping.  ``allocations`` counts segment
     (re)creations so tests can assert steady-state reuse.
+
+    The first ``resident_used`` bytes are the **resident region**: slots
+    written once via :meth:`SuperstepPool.put_resident` and referenced
+    across many dispatches.  Growth preserves it — the bytes are copied
+    into the new segment at the same offsets, so resident slot records
+    stay valid across reallocations.  Transient per-dispatch payloads
+    pack after it.
     """
 
     def __init__(self) -> None:
         self.shm: shared_memory.SharedMemory | None = None
         self.capacity = 0
         self.allocations = 0
+        self.resident_used = 0
 
     def ensure(self, nbytes: int) -> shared_memory.SharedMemory:
         if self.shm is None or nbytes > self.capacity:
             cap = max(_MIN_ARENA_BYTES, self.capacity)
             while cap < nbytes:
                 cap *= 2
-            self.close()
-            self.shm = shared_memory.SharedMemory(create=True, size=cap)
+            old = self.shm
+            self.shm = None
+            new = shared_memory.SharedMemory(create=True, size=cap)
+            if old is not None and self.resident_used:
+                # Keep published resident slots valid: same offsets, new
+                # segment.  Only the resident prefix carries state across
+                # dispatches; transient bytes are dead after each drain.
+                new.buf[: self.resident_used] = old.buf[: self.resident_used]
+            self._release(old)
+            self.shm = new
             self.capacity = cap
             self.allocations += 1
         assert self.shm is not None
         return self.shm
 
+    @staticmethod
+    def _release(shm: shared_memory.SharedMemory | None) -> None:
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - view pinned by a frame
+            pass  # unlink below still frees the name; mapping dies later
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
     def close(self) -> None:
         if self.shm is not None:
-            try:
-                self.shm.close()
-            except BufferError:  # pragma: no cover - view pinned by a frame
-                pass  # unlink below still frees the name; mapping dies later
-            try:
-                self.shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+            self._release(self.shm)
             self.shm = None
             self.capacity = 0
+            self.resident_used = 0
 
 
 # ---------------------------------------------------------------------------
@@ -290,6 +379,97 @@ def _run_job(desc: _JobDesc) -> dict[str, Any]:
     }
 
 
+def _run_job_batch(descs: Sequence[_JobDesc]) -> list[dict[str, Any]]:
+    """Execute a batch of jobs back to back in one worker (one pickle
+    round-trip for the whole list — the communication-agglomeration move
+    that makes small kernels worth dispatching at all).
+
+    Per-job exceptions are caught and returned as ``{"error", "rank"}``
+    records instead of poisoning the batch future, so the parent can
+    attribute the failure to the exact rank even though several ranks
+    shared the future.  (A worker *death* still breaks the future; the
+    parent then blames every rank of the batch.)
+    """
+    out: list[dict[str, Any]] = []
+    for desc in descs:
+        try:
+            out.append(_run_job(desc))
+        except BaseException as exc:
+            out.append(
+                {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "rank": desc.rank,
+                }
+            )
+    return out
+
+
+#: Key under which :func:`pack_result_arrays` nests its descriptor in a
+#: job's result dict.
+RESULT_SHM_KEY = "__shm_arrays__"
+
+
+def pack_result_arrays(arrays: Sequence[np.ndarray]) -> dict[str, Any]:
+    """Worker-side: ship large result arrays through shared memory.
+
+    Writes ``arrays`` into a **fresh** shm segment (the job's input arena
+    belongs to the parent and is reused immediately) and returns a small
+    picklable descriptor for :func:`take_result_arrays`.  Ownership of
+    the segment transfers to the parent: this process unregisters it from
+    its own ``resource_tracker`` so the parent's unlink is the single
+    teardown and worker exit does not double-free the name.
+
+    Use this for entries whose outputs are megabytes (preprocessing's
+    relabeling tables and block blobs) — returning them through the
+    pickle channel would serialize the payload twice.
+    """
+    total = sum(_aligned(int(a.nbytes)) for a in arrays)
+    shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals shifted
+        pass
+    buf = np.frombuffer(shm.buf, dtype=np.uint8)
+    slots: list[tuple[int, str, int, tuple[int, ...]]] = []
+    offset = 0
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        buf[offset : offset + a.nbytes] = a.reshape(-1).view(np.uint8)
+        slots.append((offset, str(a.dtype), a.size, tuple(a.shape)))
+        offset += _aligned(int(a.nbytes))
+    del buf  # release the exported view before close()
+    name = shm.name
+    shm.close()
+    return {RESULT_SHM_KEY: {"name": name, "slots": slots}}
+
+
+def take_result_arrays(result: dict[str, Any]) -> list[np.ndarray]:
+    """Parent-side: adopt a :func:`pack_result_arrays` payload.
+
+    Copies the arrays out of the worker's segment, then closes and
+    unlinks it — the descriptor is single-use.
+    """
+    desc = result[RESULT_SHM_KEY]
+    shm = shared_memory.SharedMemory(name=desc["name"])
+    try:
+        out = []
+        for off, dt, count, shape in desc["slots"]:
+            dtype = np.dtype(dt)
+            arr = np.frombuffer(
+                shm.buf, dtype=dtype, count=count, offset=off
+            ).copy()
+            out.append(arr.reshape(shape))
+    finally:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+    return out
+
+
 def _crash_for_tests(arrays: Sequence[np.ndarray], meta: dict) -> None:
     """Job entry that kills its worker process (crash-path tests only)."""
     os._exit(int(meta.get("code", 17)))
@@ -316,6 +496,12 @@ class SuperstepPool:
         spawned worker (see :func:`_worker_initializer`); required when
         jobs depend on parent-side module-state mutations such as custom
         kernel-backend registrations.
+    dispatch_mode:
+        ``"batched"`` (default) coalesces each drain's pending jobs into
+        at most ``workers`` round-robin batches, one future + one pickle
+        round-trip per batch; ``"perjob"`` submits one future per job
+        (the pre-batching behavior, kept for A/B measurement).  Results
+        and their rank ordering are identical either way.
 
     The pool outlives individual engine runs: the resilient restart
     driver and benchmark harnesses attach one pool to many engines, so
@@ -324,18 +510,28 @@ class SuperstepPool:
     workers and unlink the arena.
     """
 
+    #: Valid ``dispatch_mode`` values.
+    DISPATCH_MODES = ("perjob", "batched")
+
     def __init__(
         self,
         workers: int = 0,
         *,
         timeout: float = 600.0,
         worker_init: str | None = None,
+        dispatch_mode: str = "batched",
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = cpu count)")
+        if dispatch_mode not in self.DISPATCH_MODES:
+            raise ValueError(
+                f"dispatch_mode must be one of {self.DISPATCH_MODES}, "
+                f"got {dispatch_mode!r}"
+            )
         self.workers = workers or (os.cpu_count() or 1)
         self.timeout = timeout
         self.worker_init = worker_init
+        self.dispatch_mode = dispatch_mode
         # Explicit spawn context: see the module docstring for why fork
         # is never safe here (inherited registries, tracer state, locks).
         self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
@@ -348,6 +544,9 @@ class SuperstepPool:
         self._pending: dict[int, _PendingJob] = {}
         self._results: dict[int, Any] = {}
         self._spans: list[WorkerSpan] = []
+        #: Resident slots: key -> (offset, dtype str, element count).
+        self._resident: dict[Any, tuple[int, str, int]] = {}
+        self.resident_generation = 0
         self._t0 = time.perf_counter()
         self.dispatches = 0
         self.jobs_run = 0
@@ -390,10 +589,68 @@ class SuperstepPool:
         return spans
 
     def reset(self) -> None:
-        """Drop pending jobs and unclaimed results (start of an engine
-        run, or teardown of an aborted one).  Workers and arena persist."""
+        """Drop pending jobs, unclaimed results and resident slots (start
+        of an engine run, or teardown of an aborted one).  Workers and the
+        arena segment persist; residents must be republished because a new
+        run's blocks share nothing with the last run's."""
         self._pending.clear()
         self._results.clear()
+        self.invalidate_residents()
+
+    # -- resident slots -----------------------------------------------------
+
+    def put_resident(self, key: Any, array: np.ndarray) -> None:
+        """Write ``array`` into the arena's resident region under ``key``.
+
+        The bytes are copied **once, now**; later :meth:`submit` calls
+        reference them with ``Resident(key)`` at zero copy cost.
+        Re-publishing an existing key with the same byte size overwrites
+        the slot in place; a different size allocates a fresh slot (the
+        old bytes are dead until :meth:`invalidate_residents`).  Slots do
+        not survive :meth:`reset` — the generation counter bumps so
+        cross-run aliasing is structurally impossible.
+        """
+        if self._executor is None:
+            raise SimMPIError("superstep pool is shut down")
+        arr = np.ascontiguousarray(array)
+        slot = self._resident.get(key)
+        if slot is not None and slot[1:] == (str(arr.dtype), arr.size):
+            offset = slot[0]
+            shm = self._arena.ensure(self._arena.resident_used)
+        else:
+            offset = _aligned(self._arena.resident_used)
+            shm = self._arena.ensure(offset + max(int(arr.nbytes), 1))
+            self._arena.resident_used = offset + int(arr.nbytes)
+            self._resident[key] = (offset, str(arr.dtype), arr.size)
+        buf = np.frombuffer(shm.buf, dtype=np.uint8)
+        buf[offset : offset + arr.nbytes] = arr.reshape(-1).view(np.uint8)
+        del buf
+        self.stats.resident_puts += 1
+        self.stats.resident_bytes += int(arr.nbytes)
+        if self._telemetry is not None:
+            self._telemetry.note(
+                "pool.resident",
+                key=repr(key),
+                nbytes=int(arr.nbytes),
+                used_bytes=self._arena.resident_used,
+                generation=self.resident_generation,
+            )
+
+    def has_resident(self, key: Any) -> bool:
+        """Whether ``key`` is currently published in the resident region."""
+        return key in self._resident
+
+    def invalidate_residents(self) -> None:
+        """Drop every resident slot and bump :attr:`resident_generation`.
+
+        The arena segment itself persists (capacity is reused); only the
+        slot directory empties, so a ``Resident`` reference to a dropped
+        key fails loudly at the next submit instead of silently reading
+        stale bytes.
+        """
+        self._resident.clear()
+        self._arena.resident_used = 0
+        self.resident_generation += 1
 
     # -- the superstep ------------------------------------------------------
 
@@ -401,7 +658,7 @@ class SuperstepPool:
         self,
         rank: int,
         entry: str,
-        arrays: Sequence[np.ndarray],
+        arrays: Sequence[Any],
         meta: dict | None = None,
         label: str = "",
     ) -> None:
@@ -410,6 +667,11 @@ class SuperstepPool:
         ``entry`` is a ``"module:function"`` string resolved *in the
         worker*; it is called as ``entry(arrays, meta)`` and must return
         a picklable value containing no views into the input arrays.
+
+        ``arrays`` elements may be ndarrays (copied into the arena at
+        dispatch) or :class:`Resident` markers referencing slots already
+        published with :meth:`put_resident` — an unpublished key is
+        rejected here, before the rank parks on the result.
         """
         if self._executor is None:
             raise SimMPIError("superstep pool is shut down")
@@ -418,10 +680,22 @@ class SuperstepPool:
                 f"rank {rank} already has a superstep job in flight"
             )
         _resolve_entry(entry)  # fail fast in the parent on a bad entry
+        packed: list[Any] = []
+        for a in arrays:
+            if isinstance(a, Resident):
+                if a.key not in self._resident:
+                    raise SimMPIError(
+                        f"rank {rank} references unpublished resident "
+                        f"block {a.key!r} (generation "
+                        f"{self.resident_generation})"
+                    )
+                packed.append(a)
+            else:
+                packed.append(np.ascontiguousarray(a))
         self._pending[rank] = _PendingJob(
             rank=rank,
             entry=entry,
-            arrays=tuple(np.ascontiguousarray(a) for a in arrays),
+            arrays=tuple(packed),
             meta=dict(meta or {}),
             label=label or entry,
         )
@@ -436,11 +710,16 @@ class SuperstepPool:
     def dispatch(self, timeout: float | None = None) -> list[int]:
         """Run every pending job concurrently; return the served ranks.
 
-        Jobs are packed into the arena and submitted together; results
-        are collected **in rank order** so the caller's wake-up sequence
-        is deterministic.  Any worker death, in-job exception or timeout
-        raises :class:`WorkerCrashError` (pending state is cleared so the
-        owning engine can abort cleanly).
+        Transient arrays are packed into the arena after the resident
+        region, :class:`Resident` references resolve to their published
+        slots (zero copies), and — under ``dispatch_mode="batched"`` —
+        the jobs are grouped round-robin into at most ``workers`` batch
+        futures.  Results are recorded **in rank order** so the caller's
+        wake-up sequence is deterministic regardless of batching.  Any
+        worker death, in-job exception or timeout raises
+        :class:`WorkerCrashError` naming the failing rank (a dead worker
+        or timeout names the whole batch; pending state is cleared so
+        the owning engine can abort cleanly).
         """
         if self._executor is None:
             raise SimMPIError("superstep pool is shut down")
@@ -454,28 +733,43 @@ class SuperstepPool:
         jobs = [self._pending[r] for r in sorted(self._pending)]
         limit = self.timeout if timeout is None else timeout
 
+        base = _aligned(self._arena.resident_used)
         total = sum(
-            (a.nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+            _aligned(int(a.nbytes))
             for job in jobs
             for a in job.arrays
+            if not isinstance(a, Resident)
         )
-        shm = self._arena.ensure(max(total, 1))
+        shm = self._arena.ensure(max(base + total, 1))
         buf = np.frombuffer(shm.buf, dtype=np.uint8)
-        offset = 0
+        offset = base
+        resident_hits = 0
         descs: list[_JobDesc] = []
         for job in jobs:
             slots: list[tuple[int, str, int]] = []
             for a in job.arrays:
+                if isinstance(a, Resident):
+                    slot = self._resident.get(a.key)
+                    if slot is None:
+                        del buf
+                        raise SimMPIError(
+                            f"rank {job.rank} references unpublished "
+                            f"resident block {a.key!r}"
+                        )
+                    slots.append(slot)
+                    resident_hits += 1
+                    continue
                 flat = a.reshape(-1).view(np.uint8)
                 buf[offset : offset + a.nbytes] = flat
                 slots.append((offset, str(a.dtype), a.size))
-                offset += (a.nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+                offset += _aligned(int(a.nbytes))
             descs.append(
                 _JobDesc(
                     shm_name=shm.name,
                     slots=tuple(slots),
                     entry=job.entry,
                     meta=job.meta,
+                    rank=job.rank,
                 )
             )
         # Drop the packing view *before* anything can raise: a propagating
@@ -487,56 +781,82 @@ class SuperstepPool:
         if self._telemetry is not None:
             self._telemetry.note(
                 "pool.arena",
-                used_bytes=total,
+                used_bytes=base + total,
+                resident_bytes=self._arena.resident_used,
                 capacity_bytes=self._arena.capacity,
                 allocations=self._arena.allocations,
                 jobs=len(jobs),
             )
 
+        # Round-robin grouping keeps batch sizes within one of each
+        # other; "perjob" degenerates to singleton batches.
+        nbatches = (
+            len(jobs)
+            if self.dispatch_mode == "perjob"
+            else min(self.workers, len(jobs))
+        )
+        groups = [
+            list(range(i, len(jobs), nbatches)) for i in range(nbatches)
+        ]
         futures = [
-            (job.rank, job.label, self._executor.submit(_run_job, desc))
-            for job, desc in zip(jobs, descs)
+            (idxs, self._executor.submit(_run_job_batch, [descs[i] for i in idxs]))
+            for idxs in groups
         ]
         t_submitted = time.perf_counter()
-        served: list[int] = []
+        outs: dict[int, dict[str, Any]] = {}
         execute_s = 0.0
+        served: list[int] = []
         try:
-            for rank, label, fut in futures:
+            for idxs, fut in futures:
+                batch_ranks = [jobs[i].rank for i in idxs]
                 t_wait = time.perf_counter()
                 try:
-                    out = fut.result(timeout=limit)
+                    batch_out = fut.result(timeout=limit)
                 except BrokenProcessPool as exc:
-                    self._note_crash(rank, "worker process died mid-job")
-                    raise WorkerCrashError(
-                        rank, "worker process died mid-job"
-                    ) from exc
-                except FutureTimeoutError as exc:
-                    self._note_crash(rank, f"no result within {limit}s")
-                    raise WorkerCrashError(
-                        rank,
-                        f"no result within {limit}s of real time "
-                        "(worker wedged?)",
-                    ) from exc
-                except Exception as exc:
-                    self._note_crash(
-                        rank, f"job raised {type(exc).__name__}: {exc}"
+                    reason = (
+                        "worker process died mid-job "
+                        f"(batch ranks {batch_ranks})"
                     )
-                    raise WorkerCrashError(
-                        rank, f"job raised {type(exc).__name__}: {exc}"
-                    ) from exc
+                    self._note_crash(batch_ranks[0], reason)
+                    raise WorkerCrashError(batch_ranks[0], reason) from exc
+                except FutureTimeoutError as exc:
+                    reason = (
+                        f"no result within {limit}s of real time "
+                        f"(worker wedged? batch ranks {batch_ranks})"
+                    )
+                    self._note_crash(batch_ranks[0], reason)
+                    raise WorkerCrashError(batch_ranks[0], reason) from exc
+                except Exception as exc:
+                    reason = f"job raised {type(exc).__name__}: {exc}"
+                    self._note_crash(batch_ranks[0], reason)
+                    raise WorkerCrashError(batch_ranks[0], reason) from exc
                 execute_s += time.perf_counter() - t_wait
-                self._results[rank] = out["result"]
+                for i, out in zip(idxs, batch_out):
+                    if "error" in out:
+                        # The entry raised inside the worker; the batch
+                        # survived, so attribution is exact.
+                        reason = f"job raised {out['error']}"
+                        self._note_crash(out.get("rank", jobs[i].rank), reason)
+                        raise WorkerCrashError(
+                            out.get("rank", jobs[i].rank), reason
+                        )
+                    outs[i] = out
+            # All futures resolved; record results/spans in rank order so
+            # downstream bookkeeping is batching-invariant.
+            for i, job in enumerate(jobs):
+                out = outs[i]
+                self._results[job.rank] = out["result"]
                 self._spans.append(
                     WorkerSpan(
                         worker=out["worker"],
-                        rank=rank,
-                        label=label,
+                        rank=job.rank,
+                        label=job.label,
                         begin=out["t0"] - self._t0,
                         end=out["t1"] - self._t0,
                         dispatch=self.dispatches,
                     )
                 )
-                served.append(rank)
+                served.append(job.rank)
                 self.jobs_run += 1
                 busy = out["t1"] - out["t0"]
                 self.stats.worker_busy_s[out["worker"]] = (
@@ -548,8 +868,8 @@ class SuperstepPool:
                     # perf_counter is CLOCK_MONOTONIC across processes.
                     self._telemetry.note(
                         "pool.job",
-                        rank=rank,
-                        label=label,
+                        rank=job.rank,
+                        label=job.label,
                         worker=out["worker"],
                         dispatch=self.dispatches,
                         latency_s=out["t0"] - t_submitted,
@@ -561,12 +881,14 @@ class SuperstepPool:
         st = self.stats
         st.dispatches += 1
         st.jobs += len(served)
+        st.batches += len(futures)
         st.wall_s += t_end - t_start
         st.serialize_s += t_packed - t_start
         st.dispatch_s += t_submitted - t_packed
         st.execute_s += execute_s
         st.collect_s += (t_end - t_submitted) - execute_s
         st.payload_bytes += total
+        st.resident_hits += resident_hits
         if total > st.payload_peak:
             st.payload_peak = total
         if self._telemetry is not None:
@@ -574,12 +896,14 @@ class SuperstepPool:
                 "pool.dispatch",
                 dispatch=self.dispatches,
                 jobs=len(served),
+                batches=len(futures),
                 wall_s=t_end - t_start,
                 serialize_s=t_packed - t_start,
                 dispatch_s=t_submitted - t_packed,
                 execute_s=execute_s,
                 collect_s=(t_end - t_submitted) - execute_s,
                 payload_bytes=total,
+                resident_hits=resident_hits,
             )
         self.dispatches += 1
         return served
@@ -601,6 +925,7 @@ class SuperstepPool:
         self._arena.close()
         self._pending.clear()
         self._results.clear()
+        self._resident.clear()
 
     def __enter__(self) -> "SuperstepPool":
         return self

@@ -40,6 +40,67 @@ def test_parallelbench_check_reads_schema1_artifacts():
     assert len(failures) == 1 and "diverged" in failures[0]
 
 
+def _schema3_report(**overrides):
+    report = {
+        "schema": 3,
+        "dispatch": "amortized",
+        "host": {"usable_cpus": 8},
+        "cases": [
+            {
+                "name": "rmat13-p16",
+                "scale": 13,
+                "sequential": {"best_s": 4.0, "reps": 3},
+                "parallel": {
+                    "4": {
+                        "best_s": 1.6,
+                        "reps": 3,
+                        "count_match": True,
+                        "speedup_vs_sequential": 2.5,
+                        "pool": {
+                            "wall_s": 1.0,
+                            "serialize_s": 0.05,
+                            "dispatch_s": 0.05,
+                            "execute_s": 0.85,
+                            "collect_s": 0.05,
+                        },
+                    }
+                },
+            }
+        ],
+    }
+    report.update(overrides)
+    return report
+
+
+def test_parallelbench_check_schema3_overhead_gate():
+    # Healthy amortized run: speedup and overhead fraction both pass.
+    report = _schema3_report()
+    assert parallelbench.check_regressions(report) == []
+
+    # Non-execute overhead above OVERHEAD_FRACTION of the pool wall is a
+    # regression even when the speedup itself still clears the bar.
+    pool = report["cases"][0]["parallel"]["4"]["pool"]
+    pool["serialize_s"], pool["dispatch_s"] = 0.2, 0.15
+    failures = parallelbench.check_regressions(report)
+    assert len(failures) == 1 and "non-execute overhead" in failures[0]
+
+    # The fraction gate only binds in amortized mode.
+    assert parallelbench.check_regressions(
+        _schema3_report(
+            dispatch="batched",
+            cases=report["cases"],
+        )
+    ) == []
+
+
+def test_parallelbench_check_notes_skipped_gates():
+    # A core-limited host skips the speedup gate — loudly, via notes.
+    report = _schema3_report(host={"usable_cpus": 1})
+    notes: list[str] = []
+    assert parallelbench.check_regressions(report, notes=notes) == []
+    assert notes and "SKIPPED" in notes[0] and "1 < 4 CPUs" in notes[0]
+
+
 def test_kernelbench_check_reads_schema2_artifacts():
     report = {
         "schema": 2,

@@ -15,7 +15,13 @@ import numpy as np
 import pytest
 
 from repro.simmpi.errors import SimMPIError, WorkerCrashError
-from repro.simmpi.parallel import SuperstepPool, WorkerSpan, _resolve_entry
+from repro.simmpi.parallel import (
+    Resident,
+    SuperstepPool,
+    WorkerSpan,
+    _resolve_entry,
+    take_result_arrays,
+)
 
 #: Set by :func:`set_init_flag` — observable proof the worker_init hook
 #: ran in a spawned worker (the parent's copy stays False).
@@ -46,6 +52,13 @@ def sleepy(arrays, meta):
 
 def raising(arrays, meta):
     raise RuntimeError("job blew up on purpose")
+
+
+def shm_echo(arrays, meta):
+    """Return doubled inputs through a worker-created shm segment."""
+    from repro.simmpi.parallel import pack_result_arrays
+
+    return pack_result_arrays([np.asarray(a) * 2 for a in arrays])
 
 
 PROBE = "tests.simmpi.test_parallel:probe"
@@ -195,3 +208,98 @@ def test_shutdown_rejects_new_work():
 def test_workers_validation():
     with pytest.raises(ValueError):
         SuperstepPool(workers=-1)
+    with pytest.raises(ValueError):
+        SuperstepPool(workers=1, dispatch_mode="bogus")
+
+
+# ---------------------------------------------------------------------------
+# batched dispatch + resident arena (the amortized transport layer)
+# ---------------------------------------------------------------------------
+
+
+def test_batched_dispatch_caps_futures(pool):
+    """Five jobs on two workers coalesce into at most two batches."""
+    before = pool.stats.batches
+    for r in range(5):
+        pool.submit(r, PROBE, (np.arange(4, dtype=np.int64),))
+    served = pool.dispatch()
+    assert served == list(range(5))
+    for r in range(5):
+        pool.take_result(r)
+    assert pool.stats.batches - before <= 2
+
+
+def test_batched_crash_attributes_exact_rank():
+    """A raising job inside a multi-job batch names its own rank, not the
+    batch's first rank."""
+    with SuperstepPool(workers=1, dispatch_mode="batched") as p:
+        p.submit(0, PROBE, (np.arange(2),))
+        p.submit(1, "tests.simmpi.test_parallel:raising", (np.arange(2),))
+        p.submit(2, PROBE, (np.arange(2),))
+        with pytest.raises(WorkerCrashError, match="rank 1"):
+            p.dispatch()
+
+
+def test_resident_blocks_ship_zero_transient_bytes(pool):
+    arr = np.arange(128, dtype=np.int64)
+    pool.put_resident(("blk", 0), arr)
+    assert pool.has_resident(("blk", 0))
+    payload_before = pool.stats.payload_bytes
+    hits_before = pool.stats.resident_hits
+    pool.submit(0, PROBE, (Resident(("blk", 0)),))
+    pool.dispatch()
+    assert pool.take_result(0)["sums"] == [float(arr.sum())]
+    assert pool.stats.payload_bytes == payload_before  # slot ref only
+    assert pool.stats.resident_hits == hits_before + 1
+    pool.invalidate_residents()
+
+
+def test_resident_overwrite_same_key(pool):
+    key = ("blk", "rw")
+    pool.put_resident(key, np.full(32, 1, dtype=np.int64))
+    pool.put_resident(key, np.full(32, 7, dtype=np.int64))
+    pool.submit(0, PROBE, (Resident(key),))
+    pool.dispatch()
+    assert pool.take_result(0)["sums"] == [7.0 * 32]
+    pool.invalidate_residents()
+
+
+def test_resident_survives_arena_growth(pool):
+    key = ("blk", "grow")
+    small = np.arange(16, dtype=np.int64)
+    pool.put_resident(key, small)
+    big = np.ones(1 << 18, dtype=np.int64)  # forces a segment regrow
+    pool.submit(0, PROBE, (Resident(key), big))
+    pool.dispatch()
+    out = pool.take_result(0)
+    assert out["sums"] == [float(small.sum()), float(big.size)]
+    pool.invalidate_residents()
+
+
+def test_unpublished_resident_rejected_and_generation_bumps(pool):
+    pool.put_resident(("blk", "gen"), np.arange(8, dtype=np.int64))
+    gen = pool.resident_generation
+    pool.invalidate_residents()
+    assert pool.resident_generation == gen + 1
+    assert not pool.has_resident(("blk", "gen"))
+    with pytest.raises(SimMPIError, match="unpublished resident"):
+        pool.submit(0, PROBE, (Resident(("blk", "gen")),))
+    assert not pool.pending()
+
+
+def test_reset_invalidates_residents(pool):
+    pool.put_resident(("blk", "reset"), np.arange(8, dtype=np.int64))
+    pool.reset()
+    assert not pool.has_resident(("blk", "reset"))
+
+
+def test_shm_return_roundtrip(pool):
+    a = np.arange(6, dtype=np.int64)
+    b = np.linspace(0.0, 1.0, 5)
+    pool.submit(0, "tests.simmpi.test_parallel:shm_echo", (a, b))
+    pool.dispatch()
+    out = pool.take_result(0)
+    arrs = take_result_arrays(out)
+    assert np.array_equal(arrs[0], a * 2)
+    assert np.allclose(arrs[1], b * 2)
+    assert arrs[1].dtype == np.float64
