@@ -15,7 +15,6 @@ pointed at the same root) skip the ppt phase with bit-identical results.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
@@ -27,10 +26,11 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def shared_store() -> Path | None:
     """Create the shared store root early so every worker/bench module
     sees the same directory (the runner picks it up from the env)."""
-    root = os.environ.get("REPRO_STORE_DIR")
-    if not root:
+    from repro.graph.store import resolve_store_dir
+
+    path = resolve_store_dir()
+    if path is None:
         return None
-    path = Path(root)
     path.mkdir(parents=True, exist_ok=True)
     return path
 

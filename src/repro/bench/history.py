@@ -167,6 +167,46 @@ def rows_from_bench(report: dict[str, Any]) -> list[dict[str, Any]]:
                         ),
                     }
                 )
+        elif suite == "serve":
+            cold, warm = case.get("cold") or {}, case.get("warm") or {}
+            mixed = case.get("mixed") or {}
+            rows.append(
+                {
+                    "suite": suite,
+                    "case": f"{name}-cold",
+                    "digest": case.get("digest"),
+                    "metrics": _metrics(
+                        {},
+                        count=case.get("triangles"),
+                        p50_s=cold.get("p50_s"),
+                        p99_s=cold.get("p99_s"),
+                    ),
+                }
+            )
+            rows.append(
+                {
+                    "suite": suite,
+                    "case": f"{name}-warm",
+                    "metrics": _metrics(
+                        {},
+                        p50_s=warm.get("p50_s"),
+                        p99_s=warm.get("p99_s"),
+                        warm_speedup_p50=case.get("warm_speedup_p50"),
+                    ),
+                }
+            )
+            rows.append(
+                {
+                    "suite": suite,
+                    "case": f"{name}-mixed",
+                    "metrics": _metrics(
+                        {},
+                        throughput_rps=mixed.get("throughput_rps"),
+                        hit_ratio=mixed.get("hit_ratio"),
+                        p99_s=mixed.get("p99_s"),
+                    ),
+                }
+            )
         else:
             rows.append(
                 {
@@ -175,6 +215,21 @@ def rows_from_bench(report: dict[str, Any]) -> list[dict[str, Any]]:
                     "metrics": _metrics(case, count=case.get("triangles")),
                 }
             )
+    if suite == "serve" and report.get("overload"):
+        over = report["overload"]
+        rows.append(
+            {
+                "suite": suite,
+                "case": "overload",
+                "metrics": _metrics(
+                    {},
+                    rejected_total=over.get("rejected_total"),
+                    accepted=over.get("accepted"),
+                    capacity=over.get("capacity"),
+                    queue_depth_max=over.get("queue_depth_max"),
+                ),
+            }
+        )
     return rows
 
 

@@ -67,14 +67,11 @@ CHECK_TOLERANCE = 1.10
 def _bench_graph(scale: int, seed: int):
     """The RMAT input graph, via the on-disk graph cache when
     ``REPRO_STORE_DIR`` is set (generation dominates small-case setup)."""
-    import os
+    from repro.graph.store import store_from_env
 
-    root = os.environ.get("REPRO_STORE_DIR")
-    if not root:
+    store = store_from_env()
+    if store is None:
         return rmat_graph(scale, seed=seed)
-    from repro.graph.store import GraphStore
-
-    store = GraphStore(root)
     key = store.graph_key("kernelbench-rmat", scale, 16, seed)
     g = store.load_graph(key)
     if g is None:

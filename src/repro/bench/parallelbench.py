@@ -212,11 +212,11 @@ def run_bench(
             f"dispatch must be one of {DISPATCH_MODES}, got {dispatch!r}"
         )
     cases = SMOKE_CASES if smoke else CASES
-    store = None
-    if store_dir:
-        from repro.graph.store import GraphStore
+    from repro.graph.store import store_from_env
 
-        store = GraphStore(store_dir)
+    # --store wins; $REPRO_STORE_DIR opts in when the flag is absent
+    # (the same resolution rule as chaos, servebench and the serve layer).
+    store = store_from_env(store_dir)
     host = host_metadata()
     usable = int(host.get("usable_cpus") or 1)
     warnings: list[str] = []

@@ -14,7 +14,6 @@ statistics the cold run recorded, which — the engine being deterministic
 
 from __future__ import annotations
 
-import os
 from typing import Iterable
 
 from repro.bench.calibration import paper_model
@@ -28,12 +27,9 @@ _CACHE: dict[tuple, TriangleCountResult] = {}
 def _store():
     """The shared on-disk store, or ``None`` when ``REPRO_STORE_DIR`` is
     unset (opt-in: plain test runs must not write to the user's home)."""
-    root = os.environ.get("REPRO_STORE_DIR")
-    if not root:
-        return None
-    from repro.graph.store import GraphStore
+    from repro.graph.store import store_from_env
 
-    return GraphStore(root)
+    return store_from_env()
 
 
 def _cfg_key(cfg: TC2DConfig) -> tuple:

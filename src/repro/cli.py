@@ -542,6 +542,90 @@ def _cmd_history(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown history action {args.action!r}")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio triangle-counting service until shutdown."""
+    from repro.serve import ServeConfig
+    from repro.serve.server import run_server
+
+    config = ServeConfig(
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        tenant_quota=args.tenant_quota,
+        store=args.store,
+        executor=args.executor,
+        workers=args.workers,
+        dispatch="amortized" if args.dispatch == "amortized" else args.dispatch,
+        real_timeout=args.real_timeout,
+    )
+
+    def announce(server) -> None:
+        print(f"repro serve listening on http://{server.host}:{server.port}")
+        print(
+            f"  executor={config.executor} max_inflight={config.max_inflight} "
+            f"max_queue={config.max_queue} tenant_quota={config.tenant_quota}"
+        )
+        sys.stdout.flush()
+
+    run_server(config, host=args.host, port=args.port, announce=announce)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running serve endpoint and print the result."""
+    import json
+
+    from repro.serve import ServeClient, ServeError, ServeRejected
+
+    request: dict = {
+        "kind": args.kind,
+        "dataset": args.dataset,
+        "ranks": args.ranks,
+        "seed": args.seed,
+        "enumeration": args.enumeration,
+    }
+    if args.kind == "ktruss":
+        request["k"] = args.k
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    try:
+        doc = client.submit(
+            request,
+            tenant=args.tenant,
+            wait=not args.no_wait,
+            progress=args.progress,
+        )
+    except ServeRejected as exc:
+        print(f"rejected: {exc.reason} ({exc.body.get('detail', '')})")
+        return 2
+    except ServeError as exc:
+        print(f"error: HTTP {exc.status}: {exc.body}")
+        return 1
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0 if doc.get("state") in ("done", "queued", "running") else 1
+    if args.no_wait:
+        print(f"{doc['id']}  state={doc['state']}")
+        return 0
+    if doc.get("state") != "done":
+        print(f"{doc['id']}  state={doc['state']}  error={doc.get('error')}")
+        return 1
+    result = doc["result"]
+    for ev in doc.get("events", []):
+        print(f"  [{ev['t_s']:9.4f}s] {ev['kind']}"
+              + (f" {ev.get('name', '')}" if ev.get("name") else ""))
+    served = result.get("served")
+    line = f"{result.get('count', result.get('truss_edges'))}"
+    print(f"{args.kind} {args.dataset} p={args.ranks}: {line}  [{served}]")
+    print(f"  digest   {result['digest']}")
+    print(f"  machine  {result['machine_fingerprint']}")
+    virt = result.get("virtual")
+    if virt:
+        print(
+            f"  virtual  ppt {virt['ppt_s']:.4f}s  tct {virt['tct_s']:.4f}s"
+        )
+    print(f"  wall     {doc.get('latency_s', 0.0):.4f}s")
+    return 0
+
+
 def _add_cache_flags(p: argparse.ArgumentParser) -> None:
     """Preprocessing-cache knobs shared by ``count`` and ``profile``."""
     p.add_argument(
@@ -801,6 +885,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline JSON for `check` (e.g. BENCH_baseline.json)",
     )
     h.set_defaults(fn=_cmd_history)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the async triangle-counting service",
+        description="HTTP front end over a shared superstep pool: "
+        "canonicalized requests, warm result cache keyed by the store "
+        "digest, bounded admission-controlled cold queue, progress "
+        "streaming and a /metrics scrape endpoint (see docs/serve.md).",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port", type=int, default=8787,
+        help="listen port (0 = ephemeral, printed at startup)",
+    )
+    sv.add_argument(
+        "--max-inflight", type=int, default=2, dest="max_inflight",
+        help="cold jobs executing concurrently (dispatcher threads)",
+    )
+    sv.add_argument(
+        "--max-queue", type=int, default=8, dest="max_queue",
+        help="bound on queued cold jobs; beyond it submissions are "
+        "rejected with reason=queue_full",
+    )
+    sv.add_argument(
+        "--tenant-quota", type=int, default=4, dest="tenant_quota",
+        help="max admitted cold jobs per tenant (reason=tenant_quota)",
+    )
+    sv.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="preprocessing store root (default: $REPRO_STORE_DIR, else "
+        "no on-disk cache; the warm result cache works regardless)",
+    )
+    sv.add_argument(
+        "--executor", choices=["sequential", "parallel"],
+        default="sequential",
+        help="cold-run superstep executor; parallel shares one "
+        "long-lived worker pool across every request",
+    )
+    sv.add_argument("--workers", type=int, default=0)
+    sv.add_argument(
+        "--dispatch", choices=["perjob", "batched", "amortized"],
+        default="amortized",
+    )
+    sv.add_argument(
+        "--real-timeout", type=float, default=600.0, dest="real_timeout"
+    )
+    sv.set_defaults(fn=_cmd_serve)
+
+    sm = sub.add_parser(
+        "submit",
+        help="submit one job to a running `repro serve`",
+    )
+    sm.add_argument("dataset", help="registry name or edge-list file path")
+    sm.add_argument("--host", default="127.0.0.1")
+    sm.add_argument("--port", type=int, default=8787)
+    sm.add_argument(
+        "--kind", choices=["count", "census", "ktruss"], default="count"
+    )
+    sm.add_argument("--ranks", "-p", type=int, default=16)
+    sm.add_argument("--seed", type=int, default=0)
+    sm.add_argument("--enumeration", choices=["jik", "ijk"], default="jik")
+    sm.add_argument("--k", type=int, default=3, help="k for --kind ktruss")
+    sm.add_argument("--tenant", default="default")
+    sm.add_argument(
+        "--no-wait", action="store_true", dest="no_wait",
+        help="return the job id immediately instead of the result",
+    )
+    sm.add_argument(
+        "--progress", action="store_true",
+        help="print the job's streamed phase events",
+    )
+    sm.add_argument("--timeout", type=float, default=600.0)
+    sm.add_argument("--json", action="store_true")
+    sm.set_defaults(fn=_cmd_submit)
 
     b = sub.add_parser("bench", help="regenerate a paper table/figure")
     b.add_argument(

@@ -421,6 +421,8 @@ def count_triangles_2d(
         :class:`MachineModel()`.
     trace:
         Record a full engine event trace in ``result.extras["run"]``.
+        A :class:`~repro.simmpi.tracing.Tracer` instance is adopted
+        as-is (live span callbacks; see the serve layer).
     dataset:
         Label copied into the result for reporting.
     keep_run:
@@ -514,6 +516,11 @@ def count_triangles_2d(
             )
         return result
     finally:
+        if run_cache is not None:
+            # Releases the per-digest writer lock even when the run (or
+            # finalize) raised, so a crashed cold run cannot wedge other
+            # writers of the same artifact until process exit.
+            run_cache.close()
         if owned:
             pool.shutdown()
 

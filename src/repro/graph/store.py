@@ -87,6 +87,90 @@ def default_store_root() -> Path:
     return Path.home() / ".cache" / "repro" / "store"
 
 
+def resolve_store_dir(explicit: "str | Path | None" = None) -> Path | None:
+    """The one rule for opt-in store resolution: an explicit ``--store``
+    value wins, else ``$REPRO_STORE_DIR``, else ``None`` (no store).
+
+    Every harness that takes a ``--store DIR`` flag (parallelbench,
+    chaos, servebench, the serve layer) resolves it through here, so the
+    environment variable means the same thing everywhere.  Callers that
+    must never touch the user's home directory without opt-in (benchmark
+    runners, test fixtures) use this instead of
+    :func:`default_store_root`.
+    """
+    if explicit:
+        return Path(explicit)
+    env = os.environ.get(STORE_DIR_ENV)
+    return Path(env) if env else None
+
+
+def store_from_env(explicit: "str | Path | None" = None) -> "GraphStore | None":
+    """A :class:`GraphStore` at :func:`resolve_store_dir`'s answer, or
+    ``None`` when neither a flag nor ``$REPRO_STORE_DIR`` opted in."""
+    root = resolve_store_dir(explicit)
+    return GraphStore(root) if root is not None else None
+
+
+class DigestLock:
+    """Advisory cross-process writer lock for one store entry.
+
+    Two clients cold-running the same digest must not interleave their
+    rank-file and manifest writes, and — worse — a second client's
+    ``open_run`` must not mistake the first's half-written entry for an
+    abandoned one and delete it mid-write.  The lock is ``flock(2)`` on a
+    sidecar file under ``objects/.locks/``: advisory (readers never take
+    it), per-open-file-description (so two threads of one process exclude
+    each other too), and self-releasing when the holder dies.
+
+    On platforms without ``fcntl`` the lock degrades to a no-op that
+    always acquires; the rename-wins manifest protocol keeps the store
+    consistent there, at the cost of duplicated cold work.
+    """
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._fh = None
+
+    def acquire(self, blocking: bool = False) -> bool:
+        """Take the lock; returns False when non-blocking and held
+        elsewhere.  Reentrant acquire of a held instance returns True."""
+        if self._fh is not None:
+            return True
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX
+            self._fh = True  # degrade: pretend-held, rename-wins protects
+            return True
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fh = open(self.path, "a+b")
+        flags = fcntl.LOCK_EX | (0 if blocking else fcntl.LOCK_NB)
+        try:
+            fcntl.flock(fh.fileno(), flags)
+        except OSError:
+            fh.close()
+            return False
+        self._fh = fh
+        return True
+
+    def release(self) -> None:
+        """Drop the lock (idempotent)."""
+        fh, self._fh = self._fh, None
+        if fh is not None and fh is not True:
+            fh.close()  # closing the fd releases the flock
+
+    @property
+    def held(self) -> bool:
+        """Whether this instance currently holds the lock."""
+        return self._fh is not None
+
+    def __enter__(self) -> "DigestLock":
+        self.acquire(blocking=True)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
 def graph_digest(graph: Graph) -> str:
     """Stable sha256 of a graph's content (canonical ``u < v`` edge bytes).
 
@@ -124,8 +208,13 @@ def artifact_digest(graph_sha: str, p: int, q: int, cfg: "TC2DConfig") -> str:
 
 
 def _atomic_write_bytes(path: Path, write_fn) -> None:
-    """Write a file atomically: ``write_fn(tmp_handle)`` then rename."""
-    tmp = path.with_name(path.name + ".tmp")
+    """Write a file atomically: ``write_fn(tmp_handle)`` then rename.
+
+    The temp name carries the writer's pid so two unlocked writers (e.g.
+    a no-``fcntl`` platform) can never interleave bytes in one temp file;
+    the final ``os.replace`` makes the last complete writer win.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     with open(tmp, "wb") as fh:
         write_fn(fh)
     os.replace(tmp, path)
@@ -156,6 +245,7 @@ class RunCache:
         source: str = "",
         model_fp: str = "",
         writable: bool = True,
+        lock: "DigestLock | None" = None,
     ):
         self.store = store
         self.digest = digest
@@ -168,6 +258,9 @@ class RunCache:
         self.source = source
         self.model_fp = model_fp
         self.writable = writable
+        #: Writer lock held for the duration of a cold materialization
+        #: (released by :meth:`finalize` / :meth:`close`).
+        self._lock = lock
         #: (rank -> manifest entry) of files written during a cold run.
         self._saved: dict[int, dict] = {}
         #: Bytes loaded per rank during a warm run (for reporting).
@@ -252,30 +345,53 @@ class RunCache:
         ``ppt_stats`` (``ppt_time`` / ``comm_fraction_ppt`` /
         ``counters_ppt``) is recorded under the model fingerprint so warm
         runs under the same model can report the skipped phase honestly.
-        Returns False (and writes nothing) if any rank file is missing.
+        Returns False (and writes nothing) if any rank file is missing,
+        or if a concurrent writer already completed the entry
+        (rename-wins: the existing manifest is adopted, never clobbered
+        — the artifacts are deterministic, so both writers produced the
+        same bytes anyway).  Always releases the writer lock.
         """
-        if self.hit or not self.writable:
-            return False
-        if sorted(self._saved) != list(range(self.p)):
-            return False
-        n, m = self.graph_stats
-        doc = {
-            "store_schema": STORE_SCHEMA_VERSION,
-            "blob_format": BLOB_FORMAT_VERSION,
-            "digest": self.digest,
-            "graph": {"sha256": self.graph_sha, "n": n, "m": m},
-            "p": self.p,
-            "q": self.q,
-            "cfg": self.cfg.store_key(),
-            "source": self.source,
-            "ranks": {str(r): e for r, e in sorted(self._saved.items())},
-            "recorded": {},
-        }
-        if ppt_stats is not None and self.model_fp:
-            doc["recorded"][self.model_fp] = ppt_stats
-        self.store.write_manifest(self.digest, doc)
-        self.manifest = doc
-        return True
+        try:
+            if self.hit or not self.writable:
+                return False
+            if sorted(self._saved) != list(range(self.p)):
+                return False
+            try:
+                # Rename-wins: an unlocked concurrent writer (or one on a
+                # lock-less platform) may have finished first.
+                self.manifest = self.store.read_manifest(self.digest)
+                return False
+            except (FileNotFoundError, StoreVersionError):
+                pass
+            n, m = self.graph_stats
+            doc = {
+                "store_schema": STORE_SCHEMA_VERSION,
+                "blob_format": BLOB_FORMAT_VERSION,
+                "digest": self.digest,
+                "graph": {"sha256": self.graph_sha, "n": n, "m": m},
+                "p": self.p,
+                "q": self.q,
+                "cfg": self.cfg.store_key(),
+                "source": self.source,
+                "ranks": {str(r): e for r, e in sorted(self._saved.items())},
+                "recorded": {},
+            }
+            if ppt_stats is not None and self.model_fp:
+                doc["recorded"][self.model_fp] = ppt_stats
+            self.store.write_manifest(self.digest, doc)
+            self.manifest = doc
+            return True
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Release the per-digest writer lock, if held (idempotent).
+
+        Drivers call it from a ``finally`` so a run that raises mid-cold
+        materialization cannot wedge other writers until process exit.
+        """
+        if self._lock is not None:
+            self._lock.release()
 
 
 class GraphStore:
@@ -312,10 +428,14 @@ class GraphStore:
         """Atomically write one entry's manifest; returns its path."""
         path = self.manifest_path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         os.replace(tmp, path)
         return path
+
+    def writer_lock(self, digest: str) -> DigestLock:
+        """The advisory per-digest writer lock (see :class:`DigestLock`)."""
+        return DigestLock(self.objects_dir / ".locks" / f"{digest}.lock")
 
     def read_manifest(self, digest: str) -> dict:
         """Parse and validate one entry's manifest.
@@ -356,7 +476,11 @@ class GraphStore:
         """Digests of every entry directory under ``objects/``."""
         if not self.objects_dir.is_dir():
             return []
-        return sorted(d.name for d in self.objects_dir.iterdir() if d.is_dir())
+        return sorted(
+            d.name
+            for d in self.objects_dir.iterdir()
+            if d.is_dir() and not d.name.startswith(".")  # skip .locks
+        )
 
     def entries(self) -> list[dict]:
         """One summary dict per entry (broken entries flagged, not raised)."""
@@ -460,6 +584,14 @@ class GraphStore:
         A schema-incompatible or structurally broken entry is invalidated
         here (automatic invalidation): the run then proceeds as a cold
         miss and rewrites the entry under the current schema.
+
+        Concurrent materialization is safe: a cold, writable miss takes
+        the per-digest :class:`DigestLock` before touching the entry
+        directory.  When another writer already holds it, this run
+        degrades to a non-persisting cold run (``writable=False``) and —
+        critically — never invalidates the other writer's half-written
+        files.  The manifest is re-read after acquiring the lock, so a
+        run that raced a just-finished writer turns into a warm hit.
         """
         from repro.core.grid import ProcessorGrid
         from repro.simmpi.costmodel import MachineModel
@@ -469,15 +601,32 @@ class GraphStore:
         digest = artifact_digest(graph_sha, p, q, cfg)
         model_fp = (model if model is not None else MachineModel()).fingerprint()
         manifest: dict | None = None
+        lock: DigestLock | None = None
         try:
             manifest = self.read_manifest(digest)
-        except FileNotFoundError:
-            if self.entry_dir(digest).is_dir():
-                # Rank files without a manifest: a cold run died before
-                # finalize.  Start over.
-                self.invalidate(digest)
-        except StoreVersionError:
-            self.invalidate(digest)
+        except (FileNotFoundError, StoreVersionError):
+            if writable and (lock := self.writer_lock(digest)).acquire():
+                # We own the materialization.  Re-check under the lock: a
+                # concurrent writer may have completed between the read
+                # and the acquire (then this run is warm after all).
+                try:
+                    manifest = self.read_manifest(digest)
+                    lock.release()
+                    lock = None
+                except FileNotFoundError:
+                    if self.entry_dir(digest).is_dir():
+                        # Rank files without a manifest *while holding the
+                        # lock*: the previous cold run died before
+                        # finalize.  Start over.
+                        self.invalidate(digest)
+                except StoreVersionError:
+                    self.invalidate(digest)
+            else:
+                # Another writer is mid-materialization (or this run is
+                # read-only): run cold without persisting and leave the
+                # entry directory strictly alone.
+                lock = None
+                writable = False
         return RunCache(
             store=self,
             digest=digest,
@@ -490,6 +639,7 @@ class GraphStore:
             source=source,
             model_fp=model_fp,
             writable=writable,
+            lock=lock,
         )
 
     # -- generated-graph cache ----------------------------------------------
@@ -523,7 +673,7 @@ class GraphStore:
 
         self.graphs_dir.mkdir(parents=True, exist_ok=True)
         path = self.graph_path(key)
-        tmp = path.with_name(path.name + ".tmp.npz")
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp.npz")
         save_npz(graph, tmp)
         os.replace(tmp, path)
 

@@ -435,11 +435,11 @@ def main(argv: list[str] | None = None) -> int:
         dispatch=args.dispatch,
         real_timeout=args.real_timeout,
     )
-    store = None
-    if args.store:
-        from repro.graph.store import GraphStore
+    from repro.graph.store import store_from_env
 
-        store = GraphStore(args.store)
+    # --store wins; $REPRO_STORE_DIR opts in when the flag is absent
+    # (the same resolution rule as parallelbench and the serve layer).
+    store = store_from_env(args.store)
     results = sweep(
         graphs,
         ranks,

@@ -389,6 +389,10 @@ def count_triangles_2d_resilient(
             return result
         raise AssertionError("unreachable: restart loop neither returned nor raised")
     finally:
+        if run_cache is not None:
+            # Releases the per-digest writer lock even when every attempt
+            # failed, so other writers of the same artifact can proceed.
+            run_cache.close()
         if pool_owned:
             pool.shutdown()
         if tmp is not None:

@@ -1,0 +1,147 @@
+"""Thin stdlib HTTP client for the serve API.
+
+Used by ``repro submit``, the servebench load generator and the
+integration tests.  Pure ``http.client`` — one connection per call,
+no retries (admission control *wants* the caller to see rejections).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any
+
+
+class ServeError(RuntimeError):
+    """Non-2xx response from the serve API (other than a rejection)."""
+
+    def __init__(self, status: int, body: dict[str, Any] | str):
+        super().__init__(f"HTTP {status}: {body}")
+        self.status = status
+        self.body = body
+
+
+class ServeRejected(ServeError):
+    """Typed admission-control rejection (HTTP 429/503).
+
+    ``reason`` mirrors :class:`repro.serve.service.AdmissionError`:
+    ``queue_full``, ``tenant_quota`` or ``shutting_down``.
+    """
+
+    def __init__(self, status: int, body: dict[str, Any]):
+        super().__init__(status, body)
+        self.reason = body.get("reason", "rejected")
+
+
+class ServeClient:
+    """Synchronous client for one serve endpoint.
+
+    >>> client = ServeClient("127.0.0.1", 8787)
+    >>> client.submit({"kind": "count", "dataset": "g500-s12",
+    ...                "ranks": 16}, wait=True)["result"]["count"]
+    ... # doctest: +SKIP
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 600.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- raw transport ------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, Any]:
+        """One HTTP round trip; JSON bodies are decoded when possible."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            hdrs = {"Content-Type": "application/json", **(headers or {})}
+            conn.request(method, path, body=payload, headers=hdrs)
+            resp = conn.getresponse()
+            raw = resp.read()
+        finally:
+            conn.close()
+        try:
+            doc = json.loads(raw.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            doc = raw.decode(errors="replace")
+        return resp.status, doc
+
+    def _checked(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> Any:
+        status, doc = self.request(method, path, body, headers)
+        if status in (429, 503) and isinstance(doc, dict) and "reason" in doc:
+            raise ServeRejected(status, doc)
+        if status >= 400:
+            raise ServeError(status, doc)
+        return doc
+
+    # -- API ---------------------------------------------------------------
+
+    def health(self) -> bool:
+        """True when the server answers ``/healthz``."""
+        try:
+            status, _ = self.request("GET", "/healthz")
+        except OSError:
+            return False
+        return status == 200
+
+    def metrics(self) -> str:
+        """Raw Prometheus-style text from ``/metrics``."""
+        status, doc = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(status, doc)
+        return doc if isinstance(doc, str) else json.dumps(doc)
+
+    def stats(self) -> dict[str, Any]:
+        """Service snapshot from ``/v1/stats``."""
+        return self._checked("GET", "/v1/stats")
+
+    def submit(
+        self,
+        request: dict[str, Any],
+        tenant: str = "default",
+        wait: bool = True,
+        progress: bool = False,
+    ) -> dict[str, Any]:
+        """Submit one job; raises :class:`ServeRejected` on admission
+        rejection.  ``wait=True`` blocks for the terminal job document,
+        ``wait=False`` returns the 202 acknowledgement immediately."""
+        body = dict(request)
+        body["wait"] = wait
+        if progress:
+            body["progress"] = True
+        return self._checked(
+            "POST", "/v1/jobs", body, headers={"X-Tenant": tenant}
+        )
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """Status/result document for one job id."""
+        return self._checked("GET", f"/v1/jobs/{job_id}")
+
+    def events(
+        self, job_id: str, since: int = 0, timeout: float = 0.0
+    ) -> dict[str, Any]:
+        """Long-poll the job's progress events starting at ``since``."""
+        return self._checked(
+            "GET", f"/v1/jobs/{job_id}/events?since={since}&timeout={timeout}"
+        )
+
+    def shutdown(self) -> None:
+        """Ask the server to drain and exit."""
+        try:
+            self._checked("POST", "/v1/shutdown")
+        except OSError:
+            pass

@@ -333,7 +333,10 @@ class Engine:
     model:
         Machine cost model; defaults to :class:`MachineModel()`.
     trace:
-        When true, record a full event trace (see :class:`Tracer`).
+        When true, record a full event trace (see :class:`Tracer`).  A
+        :class:`Tracer` *instance* is adopted as-is — callers that want
+        live span callbacks (e.g. the serve layer's progress streaming)
+        pass a subclass overriding :meth:`Tracer.span_end`.
     real_timeout:
         Real (wall-clock) seconds the scheduler will wait for a rank thread
         to respond before declaring the run wedged.  This is a safety net
@@ -389,7 +392,10 @@ class Engine:
             raise ValueError("num_ranks must be >= 1")
         self.num_ranks = num_ranks
         self.model = model if model is not None else MachineModel()
-        self.tracer = Tracer(enabled=trace)
+        if isinstance(trace, Tracer):
+            self.tracer = trace
+        else:
+            self.tracer = Tracer(enabled=bool(trace))
         self.real_timeout = real_timeout
         self.faults = fault_injector
         self.superstep = superstep

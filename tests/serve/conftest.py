@@ -1,0 +1,34 @@
+"""Serve-layer fixtures: a tiny on-disk graph and service factories.
+
+The serve tests run real cold jobs, so they use a small deterministic
+edge-list file (fast preprocessing) instead of the registry datasets.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.graph import erdos_renyi_gnm
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture(scope="session")
+def graph_file(tmp_path_factory) -> Path:
+    """A small triangle-rich graph written as an edge list."""
+    path = tmp_path_factory.mktemp("serve-graphs") / "er.txt"
+    write_edge_list(erdos_renyi_gnm(300, 2400, seed=7), path)
+    return path
+
+
+@pytest.fixture()
+def service(graph_file):
+    """A fresh single-dispatcher service, drained at teardown."""
+    from repro.serve import ServeConfig, TriangleService
+
+    svc = TriangleService(
+        ServeConfig(max_inflight=1, max_queue=4, tenant_quota=2)
+    )
+    yield svc
+    svc.close()

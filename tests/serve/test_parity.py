@@ -1,0 +1,82 @@
+"""Served results must be bit-identical to ``repro count``.
+
+The acceptance bar for the serve layer: for the same request, the
+service's answer — count, artifact digest, counters, virtual clocks —
+matches a direct :func:`count_triangles_2d` call configured the way the
+CLI configures it (``paper_model()``, default ``TC2DConfig``), cold
+*and* warm, with and without the preprocessing store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.calibration import paper_model
+from repro.core import TC2DConfig, count_triangles_2d
+from repro.core.grid import ProcessorGrid
+from repro.graph.datasets import load_dataset
+from repro.graph.store import GraphStore, artifact_digest, graph_digest
+from repro.serve import ServeConfig, TriangleService
+
+DATASET, RANKS, SEED = "g500-s12", 16, 0
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """What `repro count g500-s12 -p 16` computes (same model + cfg)."""
+    graph = load_dataset(DATASET, seed=SEED)
+    cfg = TC2DConfig(enumeration="jik", seed=SEED)
+    res = count_triangles_2d(
+        graph, RANKS, cfg=cfg, model=paper_model(), dataset=DATASET
+    )
+    digest = artifact_digest(
+        graph_digest(graph), RANKS, ProcessorGrid.for_ranks(RANKS).q, cfg
+    )
+    return res, digest
+
+
+def _served(svc):
+    job = svc.submit(
+        {"kind": "count", "dataset": DATASET, "ranks": RANKS, "seed": SEED}
+    )
+    assert job.wait(300) and job.state == "done", job.error
+    return job.result
+
+
+def test_cold_and_warm_match_cli_path(reference):
+    res, digest = reference
+    with TriangleService(ServeConfig(max_inflight=1)) as svc:
+        cold = _served(svc)
+        warm = _served(svc)
+    assert cold["served"] == "cold" and warm["served"] == "warm"
+    for doc in (cold, warm):
+        assert doc["count"] == res.count
+        assert doc["digest"] == digest
+        assert doc["counters"]["ppt"] == dict(res.counters_ppt)
+        assert doc["counters"]["tct"] == dict(res.counters_tct)
+        assert doc["virtual"]["ppt_s"] == res.ppt_time
+        assert doc["virtual"]["tct_s"] == res.tct_time
+        assert doc["machine_fingerprint"] == paper_model().fingerprint()
+
+
+def test_store_replay_matches_direct_run(reference, tmp_path):
+    """A store-warmed second service still serves bit-identical results,
+    and its run actually replayed the preprocessing artifact."""
+    res, digest = reference
+    root = tmp_path / "store"
+
+    with TriangleService(ServeConfig(max_inflight=1, store=root)) as svc:
+        first = _served(svc)
+    assert first["store"]["hit"] is False and first["store"]["stored"]
+    assert first["store"]["digest"] == digest
+    assert GraphStore(root).read_manifest(digest)["digest"] == digest
+
+    # Fresh service, same store: the result cache is empty (cold), but
+    # the preprocessing phase replays from disk.
+    with TriangleService(ServeConfig(max_inflight=1, store=root)) as svc:
+        second = _served(svc)
+    assert second["served"] == "cold"
+    assert second["store"]["hit"] is True
+    assert second["count"] == res.count
+    assert second["counters"]["tct"] == dict(res.counters_tct)
+    assert second["virtual"]["tct_s"] == res.tct_time

@@ -1,0 +1,245 @@
+"""TriangleService core: canonicalization, warm cache, admission."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import (
+    AdmissionError,
+    ServeConfig,
+    TriangleService,
+    normalize_request,
+    request_key,
+)
+
+
+def _req(graph_file, **over):
+    doc = {"kind": "count", "dataset": str(graph_file), "ranks": 4}
+    doc.update(over)
+    return doc
+
+
+class TestNormalize:
+    def test_defaults_and_canonical_key(self, graph_file):
+        a = normalize_request(_req(graph_file))
+        b = normalize_request(
+            {"ranks": 4, "dataset": str(graph_file), "kind": "count",
+             "seed": 0, "enumeration": "jik"}
+        )
+        # Field order and omitted defaults must not split the cache.
+        assert request_key(a) == request_key(b)
+
+    def test_registry_dataset_accepted(self):
+        spec = normalize_request({"kind": "count", "dataset": "g500-s12"})
+        assert spec["ranks"] == 16 and "file" not in spec
+
+    def test_file_identity_in_key(self, graph_file):
+        before = request_key(normalize_request(_req(graph_file)))
+        graph_file.touch()  # new mtime = new content identity
+        after = request_key(normalize_request(_req(graph_file)))
+        assert before != after
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"kind": "nope", "dataset": "g500-s12"},
+            {"kind": "count"},  # no dataset
+            {"kind": "count", "dataset": "no-such-dataset"},
+            {"kind": "count", "dataset": "g500-s12", "ranks": 7},  # not square
+            {"kind": "count", "dataset": "g500-s12", "k": 4},  # k w/o ktruss
+            {"kind": "ktruss", "dataset": "g500-s12", "k": 1},
+            {"kind": "count", "dataset": "g500-s12", "bogus": 1},
+            {"kind": "count", "dataset": "g500-s12", "enumeration": "kji"},
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            normalize_request(bad)
+
+
+class TestWarmCache:
+    def test_cold_then_warm_identical(self, service, graph_file):
+        j1 = service.submit(_req(graph_file))
+        assert j1.wait(120) and j1.state == "done", j1.error
+        r1 = j1.result
+        assert r1["served"] == "cold" and r1["count"] > 0
+        assert r1["digest"] and r1["machine_fingerprint"]
+
+        j2 = service.submit(_req(graph_file), tenant="other")
+        assert j2.state == "done" and j2.warm
+        r2 = j2.result
+        assert r2["served"] == "warm"
+        # Bit-identical payload: count, digest, virtual clocks, counters.
+        assert r2["count"] == r1["count"]
+        assert r2["digest"] == r1["digest"]
+        assert r2["virtual"] == r1["virtual"]
+        assert r2["counters"] == r1["counters"]
+
+    def test_different_seed_is_cold(self, service, graph_file):
+        j1 = service.submit(_req(graph_file))
+        assert j1.wait(120)
+        j2 = service.submit(_req(graph_file, seed=1))
+        assert not j2.warm
+        assert j2.wait(120) and j2.state == "done", j2.error
+
+    def test_warm_hits_bypass_admission(self, graph_file):
+        svc = TriangleService(
+            ServeConfig(max_inflight=1, max_queue=0, tenant_quota=1)
+        )
+        try:
+            j1 = svc.submit(_req(graph_file))
+            assert j1.wait(120), j1.error
+            # max_queue=0: any cold submit would reject, warm ones sail.
+            for _ in range(5):
+                assert svc.submit(_req(graph_file)).warm
+        finally:
+            svc.close()
+
+    def test_events_stream_phases(self, service, graph_file):
+        job = service.submit(_req(graph_file))
+        assert job.wait(120), job.error
+        kinds = [e["kind"] for e in job.events]
+        assert kinds[0] == "queued" and kinds[-1] == "finished"
+        phases = {e["name"] for e in job.events if e["kind"] == "phase"}
+        assert {"ppt", "tct"} <= phases
+        seqs = [e["seq"] for e in job.events]
+        assert seqs == list(range(len(seqs)))
+
+    def test_failed_job_not_cached(self, service, graph_file, monkeypatch):
+        calls = {"n": 0}
+        real = TriangleService._execute
+
+        def boom(self, job):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected")
+            return real(self, job)
+
+        monkeypatch.setattr(TriangleService, "_execute", boom)
+        j1 = service.submit(_req(graph_file))
+        assert j1.wait(120) and j1.state == "failed"
+        assert "injected" in j1.error
+        j2 = service.submit(_req(graph_file))
+        assert not j2.warm  # the failure must not have been cached
+        assert j2.wait(120) and j2.state == "done"
+
+
+class TestAdmission:
+    def test_queue_full_typed(self, graph_file):
+        svc = TriangleService(
+            ServeConfig(max_inflight=1, max_queue=0, tenant_quota=8)
+        )
+        try:
+            # Stall the single dispatcher with a barrier job so the next
+            # cold submit definitely sees a full queue.
+            gate = threading.Event()
+            orig = TriangleService._execute
+
+            def slow(self, job):
+                gate.wait(30)
+                return orig(self, job)
+
+            TriangleService._execute = slow
+            try:
+                running = svc.submit(_req(graph_file))
+                with pytest.raises(AdmissionError) as exc:
+                    svc.submit(_req(graph_file, seed=2))
+                assert exc.value.reason == "queue_full"
+            finally:
+                TriangleService._execute = orig
+                gate.set()
+            assert running.wait(120)
+            assert svc.metrics.rejected == {"queue_full": 1}
+        finally:
+            svc.close()
+
+    def test_tenant_quota_typed_and_isolated(self, graph_file):
+        svc = TriangleService(
+            ServeConfig(max_inflight=1, max_queue=8, tenant_quota=1)
+        )
+        try:
+            gate = threading.Event()
+            orig = TriangleService._execute
+
+            def slow(self, job):
+                gate.wait(30)
+                return orig(self, job)
+
+            TriangleService._execute = slow
+            try:
+                first = svc.submit(_req(graph_file), tenant="a")
+                with pytest.raises(AdmissionError) as exc:
+                    svc.submit(_req(graph_file, seed=2), tenant="a")
+                assert exc.value.reason == "tenant_quota"
+                # Another tenant still gets in: quotas are per-tenant.
+                second = svc.submit(_req(graph_file, seed=3), tenant="b")
+            finally:
+                TriangleService._execute = orig
+                gate.set()
+            assert first.wait(120) and second.wait(120)
+            assert svc.metrics.rejected == {"tenant_quota": 1}
+        finally:
+            svc.close()
+
+    def test_shutdown_rejects_new_work(self, service, graph_file):
+        j = service.submit(_req(graph_file))
+        assert j.wait(120)
+        service.close()
+        with pytest.raises(AdmissionError) as exc:
+            service.submit(_req(graph_file, seed=9))
+        assert exc.value.reason == "shutting_down"
+
+    def test_drain_finishes_queued_jobs(self, graph_file):
+        svc = TriangleService(
+            ServeConfig(max_inflight=1, max_queue=4, tenant_quota=4)
+        )
+        jobs = [svc.submit(_req(graph_file, seed=s)) for s in (11, 12, 13)]
+        svc.close(drain=True)
+        assert all(j.state == "done" for j in jobs), [j.error for j in jobs]
+
+
+class TestMetrics:
+    def test_counters_and_scrape(self, service, graph_file):
+        j = service.submit(_req(graph_file))
+        assert j.wait(120), j.error
+        service.submit(_req(graph_file))
+        snap = service.metrics.snapshot()
+        assert snap["completed"] == {"warm": 1, "cold": 1}
+        assert snap["hit_ratio"] == 0.5
+        assert snap["warm_p50_s"] < snap["cold_p50_s"]
+        text = service.metrics.render()
+        assert 'repro_serve_jobs_completed_total{class="warm"} 1' in text
+        assert "repro_serve_hit_ratio" in text
+        assert 'phase_virtual_seconds_total{phase="tct"}' in text
+
+    def test_stats_provenance(self, service, graph_file):
+        stats = service.stats()
+        assert stats["machine_fingerprint"]
+        assert stats["max_inflight"] == 1
+        assert stats["executor"] == "sequential"
+
+
+class TestKinds:
+    def test_census_and_ktruss(self, service, graph_file):
+        jc = service.submit(
+            {"kind": "census", "dataset": str(graph_file), "ranks": 4}
+        )
+        assert jc.wait(120) and jc.state == "done", jc.error
+        assert jc.result["count"] > 0 and len(jc.result["top_vertices"]) == 5
+        jk = service.submit(
+            {"kind": "ktruss", "dataset": str(graph_file), "ranks": 4, "k": 3}
+        )
+        assert jk.wait(120) and jk.state == "done", jk.error
+        assert jk.result["truss_edges"] >= 0
+        warm = service.submit(
+            {"kind": "census", "dataset": str(graph_file), "ranks": 4}
+        )
+        assert warm.warm
+        # Different kinds on the same dataset must not share cache lines.
+        cold = service.submit(
+            {"kind": "count", "dataset": str(graph_file), "ranks": 4}
+        )
+        assert not cold.warm
+        assert cold.wait(120) and cold.state == "done", cold.error

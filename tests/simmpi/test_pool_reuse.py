@@ -1,0 +1,92 @@
+"""One SuperstepPool, many sequential independent runs (the serve case).
+
+The serve layer keeps a single long-lived pool for every cold job, so
+cross-run hygiene is load-bearing: each engine run must reset pending
+state, republish its own residents under a bumped generation, and leave
+counts bit-identical to a fresh-pool run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TC2DConfig, count_triangles_2d
+from repro.graph import rmat_graph
+from repro.simmpi.errors import SimMPIError
+from repro.simmpi.parallel import Resident, SuperstepPool
+
+CFG = TC2DConfig(executor="parallel", workers=2)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with SuperstepPool(workers=2) as p:
+        yield p
+
+
+def test_sequential_runs_share_pool_bit_identically(pool, fast_model):
+    """Two different graphs through one pool == two fresh-pool runs."""
+    g1, g2 = rmat_graph(8, seed=1), rmat_graph(8, seed=2)
+    shared_1 = count_triangles_2d(
+        g1, 4, CFG, model=fast_model, superstep=pool
+    )
+    shared_2 = count_triangles_2d(
+        g2, 4, CFG, model=fast_model, superstep=pool
+    )
+    fresh_1 = count_triangles_2d(g1, 4, CFG, model=fast_model)
+    fresh_2 = count_triangles_2d(g2, 4, CFG, model=fast_model)
+    assert shared_1.count == fresh_1.count
+    assert shared_2.count == fresh_2.count
+    assert shared_1.tct_time == fresh_1.tct_time
+    assert shared_2.counters_tct == fresh_2.counters_tct
+    # Same graph again: still identical (no state bleed from run 2).
+    again = count_triangles_2d(g1, 4, CFG, model=fast_model, superstep=pool)
+    assert again.count == fresh_1.count
+    assert again.ppt_time == fresh_1.ppt_time
+
+
+def test_stats_deltas_accumulate_per_run(pool, fast_model):
+    """stats_snapshot() deltas isolate one run's dispatch accounting."""
+    g = rmat_graph(8, seed=3)
+    before = pool.stats_snapshot()
+    count_triangles_2d(g, 4, CFG, model=fast_model, superstep=pool)
+    mid = pool.stats_snapshot()
+    count_triangles_2d(g, 4, CFG, model=fast_model, superstep=pool)
+    after = pool.stats_snapshot()
+    d1 = mid["jobs"] - before["jobs"]
+    d2 = after["jobs"] - mid["jobs"]
+    assert d1 > 0
+    # Identical runs dispatch identical job counts through a reused pool.
+    assert d1 == d2
+    assert after["dispatches"] > mid["dispatches"] > before["dispatches"]
+    assert after["wall_s"] >= mid["wall_s"]
+
+
+def test_resident_generation_isolates_tenants(pool, fast_model):
+    """Engine runs bump the resident generation, so one tenant's
+    published blocks can never be read by the next tenant's run."""
+    pool.reset()
+    gen0 = pool.resident_generation
+    pool.put_resident(("tenant-a", 0), np.arange(16, dtype=np.int64))
+    assert pool.has_resident(("tenant-a", 0))
+
+    count_triangles_2d(
+        rmat_graph(8, seed=4), 4, CFG, model=fast_model, superstep=pool
+    )
+    # The run's own reset dropped tenant-a's slot and bumped generation.
+    assert pool.resident_generation > gen0
+    assert not pool.has_resident(("tenant-a", 0))
+
+
+def test_stale_resident_reference_fails_closed(pool):
+    """A Resident reference from a previous generation must error, not
+    silently read another run's bytes."""
+    pool.reset()
+    pool.put_resident("key", np.ones(8, dtype=np.int64))
+    stale = Resident("key")
+    pool.invalidate_residents()
+    pool.put_resident("other", np.zeros(8, dtype=np.int64))
+    with pytest.raises(SimMPIError, match="unpublished resident"):
+        pool.submit(0, "tests.simmpi.test_parallel:probe", [stale], {})
+    pool.reset()
