@@ -144,6 +144,55 @@ def _finish_telemetry(args: argparse.Namespace, tele, res) -> None:
     print(telemetry_report(record))
 
 
+def _count_out_of_core(args: argparse.Namespace, spec: str, cfg, trace_on: bool) -> int:
+    """``count``/``profile`` body for ``--out-of-core``: the graph is
+    never materialized in this process, so the usual load-then-count
+    flow (and anything needing the whole graph, like ``--verify``)
+    does not apply."""
+    from repro.bench.calibration import paper_model
+    from repro.graph.datasets import REGISTRY
+    from repro.graph.external import DEFAULT_CHUNK_BYTES, count_triangles_oocore
+
+    if args.algorithm != "tc2d":
+        raise SystemExit("--out-of-core is implemented for -a tc2d only")
+    if getattr(args, "verify", False):
+        raise SystemExit(
+            "--verify materializes the whole graph in memory; "
+            "it cannot be combined with --out-of-core"
+        )
+    path = Path(spec)
+    if spec in REGISTRY or not path.exists():
+        raise SystemExit(
+            "--out-of-core needs an edge-list file path "
+            "(registry datasets are generated in memory anyway)"
+        )
+    tele = _start_telemetry(args)
+    res = count_triangles_oocore(
+        path,
+        args.ranks,
+        cfg,
+        store=_cache_arg(args),
+        chunk_bytes=cfg.memory_budget or DEFAULT_CHUNK_BYTES,
+        model=paper_model(),
+        trace=trace_on,
+        dataset=spec,
+        telemetry=tele,
+    )
+    info = res.extras["out_of_core"]
+    state = "reused store entry" if info["reused"] else "external preprocessing"
+    print(
+        f"out-of-core: {state} {info['digest'][:12]} "
+        f"n={info['n']:,} m={info['m']:,} "
+        f"chunk={info['chunk_bytes']:,}B spilled={info['spilled_bytes']:,}B"
+    )
+    _print_cache_status(res)
+    print(res.summary())
+    if tele is not None:
+        _finish_telemetry(args, tele, res)
+    _emit_observability(args, res)
+    return 0
+
+
 def _cmd_count(args: argparse.Namespace) -> int:
     from repro.baselines import (
         count_triangles_aop,
@@ -162,9 +211,6 @@ def _cmd_count(args: argparse.Namespace) -> int:
             "--trace/--profile need the simulated grid algorithms "
             "(-a tc2d or -a summa)"
         )
-    g = _load_graph(spec, args.seed)
-    print(f"{spec}: {degree_summary(g)}")
-    model = paper_model()
     cfg = TC2DConfig(
         enumeration=args.enumeration,
         doubly_sparse=not args.no_doubly_sparse,
@@ -178,7 +224,14 @@ def _cmd_count(args: argparse.Namespace) -> int:
         offload_ppt=not args.no_offload_ppt,
         real_timeout=args.real_timeout,
         seed=args.seed,
+        out_of_core=args.out_of_core,
+        memory_budget=args.chunk_bytes,
     )
+    if args.out_of_core:
+        return _count_out_of_core(args, spec, cfg, trace_on)
+    g = _load_graph(spec, args.seed)
+    print(f"{spec}: {degree_summary(g)}")
+    model = paper_model()
     if args.executor == "parallel" and args.algorithm != "tc2d":
         raise SystemExit("--executor parallel is implemented for -a tc2d only")
     cache = _cache_arg(args)
@@ -285,7 +338,6 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.core import TC2DConfig, count_triangles_2d, count_triangles_summa
 
     spec = _dataset_spec(args)
-    g = _load_graph(spec, args.seed)
     cfg = TC2DConfig(
         kernel_backend=args.kernel,
         executor=args.executor,
@@ -294,7 +346,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         offload_ppt=not args.no_offload_ppt,
         real_timeout=args.real_timeout,
         seed=args.seed,
+        out_of_core=args.out_of_core,
+        memory_budget=args.chunk_bytes,
     )
+    if args.out_of_core:
+        args.profile = True
+        return _count_out_of_core(args, spec, cfg, trace_on=True)
+    g = _load_graph(spec, args.seed)
     if args.executor == "parallel" and args.algorithm != "tc2d":
         raise SystemExit("--executor parallel is implemented for -a tc2d only")
     cache = _cache_arg(args)
@@ -426,6 +484,26 @@ def _cmd_store(args: argparse.Namespace) -> int:
     if args.action == "prune":
         removed = store.prune(args.digest)
         print(f"store at {store.root}: removed {removed} entries")
+        return 0
+
+    if args.action == "ingest":
+        if not args.input:
+            raise SystemExit("store ingest needs --input FILE (edge list)")
+        from repro.core.config import TC2DConfig
+        from repro.graph.external import DEFAULT_CHUNK_BYTES, external_preprocess
+
+        cfg = TC2DConfig()
+        chunk = args.chunk_bytes or DEFAULT_CHUNK_BYTES
+        for p in args.ranks:
+            info = external_preprocess(
+                args.input, store, p, cfg, chunk_bytes=chunk
+            )
+            state = "already present" if info["reused"] else "ingested"
+            print(
+                f"ingest {args.input} p={p}: {info['digest'][:12]} {state}; "
+                f"n={info['n']:,} m={info['m']:,} "
+                f"spilled={info['spilled_bytes']:,}B"
+            )
         return 0
 
     if args.action == "warm":
@@ -643,6 +721,27 @@ def _add_cache_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_ooc_flags(p: argparse.ArgumentParser) -> None:
+    """Out-of-core pipeline knobs shared by ``count`` and ``profile``."""
+    p.add_argument(
+        "--out-of-core",
+        action="store_true",
+        dest="out_of_core",
+        help="preprocess via the external-memory pipeline "
+        "(repro.graph.external): the edge-list file streams through "
+        "disk-spilled sorted runs, peak memory bounded by --chunk-bytes "
+        "instead of graph size; bit-identical counts and store entries",
+    )
+    p.add_argument(
+        "--chunk-bytes",
+        type=int,
+        default=0,
+        dest="chunk_bytes",
+        help="spill-chunk memory budget in bytes for --out-of-core "
+        "(0 = default, 64 MiB); tuning knob only, never changes results",
+    )
+
+
 def _add_executor_flags(p: argparse.ArgumentParser) -> None:
     """Superstep-executor knobs shared by ``count`` and ``profile``."""
     p.add_argument(
@@ -755,6 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_flags(c)
     _add_executor_flags(c)
+    _add_ooc_flags(c)
     c.set_defaults(fn=_cmd_count)
 
     pr = sub.add_parser(
@@ -794,6 +894,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_flags(pr)
     _add_executor_flags(pr)
+    _add_ooc_flags(pr)
     pr.set_defaults(fn=_cmd_profile)
 
     s = sub.add_parser("census", help="triangle census / clustering summary")
@@ -822,9 +923,10 @@ def build_parser() -> argparse.ArgumentParser:
         "(see docs/datasets.md for the layout and digest rules).",
     )
     st.add_argument(
-        "action", choices=["list", "verify", "prune", "warm"],
+        "action", choices=["list", "verify", "prune", "warm", "ingest"],
         help="list entries / crc-verify blobs / remove entries / "
-        "preprocess datasets into the store",
+        "preprocess datasets into the store / stream an edge-list file "
+        "into the store out-of-core",
     )
     st.add_argument(
         "--dir", default=None,
@@ -843,6 +945,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="rank counts to warm each dataset at (default: 16)",
     )
     st.add_argument("--seed", type=int, default=0)
+    st.add_argument(
+        "--input", default=None, metavar="FILE",
+        help="edge-list file for `ingest` (text or binary REDGE format)",
+    )
+    st.add_argument(
+        "--chunk-bytes", type=int, default=0, dest="chunk_bytes",
+        help="spill-chunk memory budget in bytes for `ingest` "
+        "(0 = default, 64 MiB)",
+    )
     st.set_defaults(fn=_cmd_store)
 
     d = sub.add_parser(

@@ -20,7 +20,7 @@ the optimization is disabled.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -68,6 +68,11 @@ class Block:
     fixed_residue: int
     inner_residue: int
     dcsr: DCSR
+    #: The source blob this block was deserialized from (set by
+    #: :meth:`from_blob` / :meth:`from_mmap`, ``None`` for blocks built
+    #: locally).  :meth:`as_blob` returns it instead of re-packing, so a
+    #: cache-served block can be republished without a concatenate pass.
+    blob: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.kind not in _KIND_CODES:
@@ -146,7 +151,42 @@ class Block:
             fixed_residue=fixed,
             inner_residue=inner,
             dcsr=DCSR(CSR(n_rows, indptr, indices, n_cols=n_cols)),
+            blob=blob,
         )
+
+    @classmethod
+    def from_mmap(cls, buf, offset: int = 0) -> "Block":
+        """Deserialize a block straight out of a memory-mapped buffer.
+
+        ``buf`` is any object exposing the buffer protocol (typically an
+        ``mmap.mmap`` opened read-only) and ``offset`` the byte position
+        of the blob header within it.  The header is parsed first to size
+        the blob, then the whole blob becomes a read-only
+        ``np.frombuffer`` view — no bytes are copied, and the crc32
+        verification pass is what faults the payload pages in.  A
+        corrupted file raises
+        :class:`~repro.simmpi.errors.BlobChecksumError` exactly like
+        :meth:`from_blob` on a corrupted wire buffer.
+        """
+        header = np.frombuffer(
+            buf, dtype=INDEX_DTYPE, count=_HEADER_LEN, offset=offset
+        )
+        n_rows, nnz = int(header[3]), int(header[5])
+        total = _HEADER_LEN + n_rows + 1 + nnz
+        blob = np.frombuffer(buf, dtype=INDEX_DTYPE, count=total, offset=offset)
+        return cls.from_blob(blob)
+
+    def as_blob(self) -> np.ndarray:
+        """The block's wire-format buffer, reusing the source blob.
+
+        Blocks that came out of :meth:`from_blob` / :meth:`from_mmap`
+        return the retained source buffer (zero copies — for an mmap'd
+        block this is still the page-cache-backed view); locally built
+        blocks fall back to :meth:`to_blob`.
+        """
+        if self.blob is not None:
+            return self.blob
+        return self.to_blob()
 
 
 def build_block(

@@ -119,6 +119,19 @@ class TC2DConfig:
         ``--seed`` flag here; graph generators, any randomized kernel
         choices and the resilience layer's fault plans all derive their
         streams from it, so one integer reproduces an entire chaos run.
+    out_of_core:
+        Preprocess via the external-memory pipeline
+        (:mod:`repro.graph.external`): the edge list streams through
+        disk-spilled sorted runs instead of being materialized, so peak
+        memory is bounded by ``memory_budget``, not graph size.  Only
+        meaningful for file-backed inputs; produces bit-identical store
+        entries, counts and traces.
+    memory_budget:
+        Spill-chunk budget in bytes for the out-of-core pipeline
+        (``0`` = the module default,
+        :data:`repro.graph.external.DEFAULT_CHUNK_BYTES`).  Tuning knob
+        only — it never changes any output byte, so it deliberately
+        stays out of :meth:`store_key`.
     """
 
     enumeration: str = "jik"
@@ -137,6 +150,8 @@ class TC2DConfig:
     real_timeout: float = 600.0
     track_per_shift: bool = True
     seed: int = 0
+    out_of_core: bool = False
+    memory_budget: int = 0
 
     def __post_init__(self) -> None:
         if self.enumeration not in ENUMERATIONS:
@@ -164,6 +179,8 @@ class TC2DConfig:
             )
         if self.real_timeout <= 0:
             raise ValueError("real_timeout must be > 0 seconds")
+        if self.memory_budget < 0:
+            raise ValueError("memory_budget must be >= 0 (0 = default)")
 
     def replace(self, **kwargs: Any) -> "TC2DConfig":
         """Copy with some fields replaced (ablation helper)."""

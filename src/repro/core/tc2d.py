@@ -83,6 +83,23 @@ def tc2d_rank_program(
     cache_hit = cache is not None and cache.hit and snap is None
     restored_count = 0
     start_z = 0
+    x, y = grid.coords(ctx.rank)
+    offloading = ctx.engine.superstep is not None
+    # Amortized residency assumes block *content* is exchange-invariant
+    # (only location rotates under Cannon's schedule).  A fault injector
+    # can break that — corrupt faults rewrite payloads in flight — so
+    # fault-injected runs quietly degrade to per-epoch transient blobs.
+    amortized = (
+        offloading and cfg.dispatch == "amortized" and ctx.engine.faults is None
+    )
+    # Warm hits whose rank files the driver pre-validated as mappable
+    # (RunCache.premap) publish *file-backed* resident slots: workers
+    # mmap the store file instead of receiving arena copies.
+    file_serving = cache_hit and offloading and getattr(
+        cache, "file_serving", False
+    )
+    mapped_task = False
+    mapped_travelling = False
     if cache_hit:
         with ctx.phase("cache"):
             t0 = ctx.clock.now
@@ -95,6 +112,32 @@ def tc2d_rank_program(
                 )
             for blk in (u_block, l_block, task_block):
                 ctx.alloc_mem(blk.nbytes_estimate())
+            if file_serving:
+                # The task block is only referenced by this very rank, so
+                # its file slot is safe under any dispatch mode.
+                ctx.put_resident_file(
+                    ("task", ctx.rank), cache.blob_slot(ctx.rank, "task")
+                )
+                mapped_task = True
+            if file_serving and amortized:
+                # Pre-skew schedule-ahead publication.  The stored U/L
+                # blobs carry this rank's *pre-skew* inner residues; over
+                # a grid row (column) those residues are a bijection onto
+                # 0..q-1 exactly like the post-skew ones, so the key
+                # union covers every epoch's operand and the bytes are
+                # the very pages the skewed copies travelled as.  The
+                # barrier below sequences the publications: every rank's
+                # slots are live before any rank can submit a kernel that
+                # references a grid peer's key.
+                ctx.put_resident_file(
+                    ("U", x, u_block.inner_residue),
+                    cache.blob_slot(ctx.rank, "u"),
+                )
+                ctx.put_resident_file(
+                    ("L", y, l_block.inner_residue),
+                    cache.blob_slot(ctx.rank, "l"),
+                )
+                mapped_travelling = True
             comm.barrier()
         with ctx.phase("ppt"):
             pass  # keeps run.phase_time("ppt") defined (and zero)
@@ -137,21 +180,12 @@ def tc2d_rank_program(
         ctx.alloc_mem(new.nbytes_estimate())
         return new
 
-    x, y = grid.coords(ctx.rank)
     local_count = restored_count
     shift_records: list[tuple[int, float, int]] = []
     hash_builds = 0
     hash_fast_builds = 0
     backend_uses: dict[str, int] = {}
     blob = cfg.blob_serialization
-    offloading = ctx.engine.superstep is not None
-    # Amortized residency assumes block *content* is exchange-invariant
-    # (only location rotates under Cannon's schedule).  A fault injector
-    # can break that — corrupt faults rewrite payloads in flight — so
-    # fault-injected runs quietly degrade to per-epoch transient blobs.
-    amortized = (
-        offloading and cfg.dispatch == "amortized" and ctx.engine.faults is None
-    )
     task_ref: Any = None
 
     with ctx.phase("tct"):
@@ -172,11 +206,13 @@ def tc2d_rank_program(
 
         if offloading:
             # The task block never travels: publish its blob once as a
-            # resident arena slot and reference it every epoch instead of
-            # re-serializing and re-copying it per shift.
-            ctx.put_resident(("task", ctx.rank), task_block.to_blob())
+            # resident slot and reference it every epoch instead of
+            # re-serializing and re-copying it per shift.  (Skipped when
+            # the cache phase already published the store file's bytes.)
+            if not mapped_task:
+                ctx.put_resident(("task", ctx.rank), task_block.as_blob())
             task_ref = Resident(("task", ctx.rank))
-        if amortized:
+        if amortized and not mapped_travelling:
             # Schedule-ahead publication: Eq. 6 pins every later epoch's
             # operand *content* right now — blocks only rotate location.
             # Each rank publishing its current U/L blob keyed by (role,
@@ -185,8 +221,8 @@ def tc2d_rank_program(
             # which a grid peer published under this very protocol.  All
             # publications precede the first dispatch because drains only
             # fire once every rank has parked on its epoch job.
-            ctx.put_resident(("U", x, u_block.inner_residue), u_block.to_blob())
-            ctx.put_resident(("L", y, l_block.inner_residue), l_block.to_blob())
+            ctx.put_resident(("U", x, u_block.inner_residue), u_block.as_blob())
+            ctx.put_resident(("L", y, l_block.inner_residue), l_block.as_blob())
 
         for z in range(start_z, q):
             ctx.fault_point(f"shift:{z}")
@@ -232,7 +268,9 @@ def tc2d_rank_program(
                         Resident(("L", y, expected)),
                     )
                 else:
-                    operands = (task_ref, u_block.to_blob(), l_block.to_blob())
+                    # as_blob: exchanged blocks retain their wire buffer,
+                    # so batched dispatch re-ships but never re-packs.
+                    operands = (task_ref, u_block.as_blob(), l_block.as_blob())
                 payload = ctx.offload(
                     KERNEL_JOB_ENTRY,
                     operands,
@@ -377,6 +415,8 @@ def _finish_run_cache(run_cache: Any, result: TriangleCountResult) -> None:
             "digest": run_cache.digest,
             "nbytes": run_cache.loaded_nbytes,
             "replayed_ppt": recorded is not None,
+            "mapped_ranks": run_cache.mapped_ranks,
+            "file_serving": getattr(run_cache, "file_serving", False),
         }
     else:
         wrote = run_cache.finalize(
@@ -480,6 +520,11 @@ def count_triangles_2d(
             dispatch_mode="perjob" if cfg.dispatch == "perjob" else "batched",
         )
         owned = True
+    if run_cache is not None and run_cache.hit and pool is not None:
+        # Decide file-backed resident serving once, driver-side, so every
+        # rank agrees (mixing protocols could leave residues unpublished
+        # — see RunCache.premap).
+        run_cache.premap(p)
     try:
         if telemetry is not None:
             if pool is not None:

@@ -42,7 +42,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import os
+import zipfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -220,6 +222,130 @@ def _atomic_write_bytes(path: Path, write_fn) -> None:
     os.replace(tmp, path)
 
 
+class MappedRankFile:
+    """Read-only ``mmap`` view of one rank's npz file — zero copies.
+
+    ``np.savez`` (the non-compressed variant :meth:`RunCache.save_rank`
+    uses) writes a plain ZIP archive with **stored** (uncompressed)
+    members, so every contained ``.npy`` array lives at a fixed byte
+    offset in the file.  This class parses the zip directory and each
+    member's npy header once, then exposes the arrays as read-only
+    ``np.frombuffer`` views into a single shared ``mmap`` — the bytes
+    page in lazily on first touch (for a block blob, that first touch is
+    the crc32 verification pass in
+    :meth:`~repro.core.blocks.Block.from_mmap`).
+
+    A compressed or otherwise non-stored member raises ``ValueError``;
+    callers (``RunCache.load_rank``) fall back to the copying
+    ``np.load`` path in that case.  Keep the instance alive as long as
+    any view into it is in use — dropping it unmaps the pages.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh = open(self.path, "rb")
+        try:
+            self._mm = mmap.mmap(
+                self._fh.fileno(), 0, access=mmap.ACCESS_READ
+            )
+            #: name (without ``.npy``) -> (data offset, dtype, count, shape)
+            self._members: dict[str, tuple[int, np.dtype, int, tuple]] = {}
+            self._parse()
+        except Exception:
+            self.close()
+            raise
+
+    def _parse(self) -> None:
+        with zipfile.ZipFile(self._fh) as zf:
+            infos = zf.infolist()
+        for info in infos:
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError(
+                    f"{self.path.name}: member {info.filename!r} is "
+                    "compressed; mmap serving needs stored members"
+                )
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[:-4]
+            # The central directory records where the member's *local*
+            # header starts; the data follows the 30-byte fixed header
+            # plus the (possibly zip64-extended) name and extra fields.
+            local = bytes(
+                self._mm[info.header_offset : info.header_offset + 30]
+            )
+            if local[:4] != b"PK\x03\x04":
+                raise ValueError(
+                    f"{self.path.name}: bad local header for {name!r}"
+                )
+            fnlen = int.from_bytes(local[26:28], "little")
+            extralen = int.from_bytes(local[28:30], "little")
+            npy_off = info.header_offset + 30 + fnlen + extralen
+            self._fh.seek(npy_off)
+            version = np.lib.format.read_magic(self._fh)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(
+                    self._fh
+                )
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(
+                    self._fh
+                )
+            else:
+                raise ValueError(
+                    f"{self.path.name}: unsupported npy version {version}"
+                )
+            if fortran:
+                raise ValueError(
+                    f"{self.path.name}: {name!r} is Fortran-ordered"
+                )
+            count = 1
+            for dim in shape:
+                count *= int(dim)
+            self._members[name] = (self._fh.tell(), dtype, count, shape)
+
+    @property
+    def buffer(self) -> mmap.mmap:
+        """The shared read-only map of the whole file."""
+        return self._mm
+
+    def keys(self) -> list[str]:
+        """Member array names (npz keys)."""
+        return sorted(self._members)
+
+    def slot(self, name: str) -> tuple[int, str, int]:
+        """``(byte offset, dtype string, element count)`` of one member's
+        data within the file — the address a file-backed resident slot
+        needs."""
+        off, dtype, count, _shape = self._members[name]
+        return off, str(dtype), count
+
+    def array(self, name: str) -> np.ndarray:
+        """Read-only zero-copy view of one member array."""
+        off, dtype, count, shape = self._members[name]
+        return np.frombuffer(
+            self._mm, dtype=dtype, count=count, offset=off
+        ).reshape(shape)
+
+    def block(self, name: str) -> Block:
+        """Deserialize (and crc-verify) one member as a mapped
+        :class:`~repro.core.blocks.Block`."""
+        off, _dtype, _count, _shape = self._members[name]
+        return Block.from_mmap(self._mm, off)
+
+    def close(self) -> None:
+        """Unmap the file (idempotent).  Outstanding views go invalid."""
+        mm = getattr(self, "_mm", None)
+        if mm is not None:
+            try:
+                mm.close()
+            except BufferError:  # pragma: no cover - live exported views
+                pass
+            self._mm = None
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
 class RunCache:
     """One run's view of a store entry, handed to the rank program.
 
@@ -246,7 +372,10 @@ class RunCache:
         model_fp: str = "",
         writable: bool = True,
         lock: "DigestLock | None" = None,
+        serve_mode: str = "mmap",
     ):
+        if serve_mode not in ("mmap", "copy"):
+            raise ValueError(f"serve_mode must be 'mmap' or 'copy', got {serve_mode!r}")
         self.store = store
         self.digest = digest
         self.graph_sha = graph_sha
@@ -261,26 +390,94 @@ class RunCache:
         #: Writer lock held for the duration of a cold materialization
         #: (released by :meth:`finalize` / :meth:`close`).
         self._lock = lock
+        #: How warm hits serve blobs: ``"mmap"`` (zero-copy views into
+        #: the rank file, lazy page-in) or ``"copy"`` (full ``np.load``).
+        self.serve_mode = serve_mode
         #: (rank -> manifest entry) of files written during a cold run.
         self._saved: dict[int, dict] = {}
+        #: rank -> live :class:`MappedRankFile` keepalive (mmap serving).
+        self._mapped: dict[int, MappedRankFile] = {}
         #: Bytes loaded per rank during a warm run (for reporting).
         self.loaded_nbytes = 0
+        #: Ranks served via mmap (vs. copied) during this run.
+        self.mapped_ranks = 0
+        #: Every rank file pre-validated as mappable (:meth:`premap`):
+        #: rank programs may then publish **file-backed** resident slots
+        #: instead of copying blobs into the pool arena.
+        self.file_serving = False
 
     @property
     def hit(self) -> bool:
         """Whether the store already holds this run's artifact."""
         return self.manifest is not None
 
+    def premap(self, p: int | None = None) -> bool:
+        """Validate up front that *every* rank file can be served via
+        mmap; records the verdict in :attr:`file_serving`.
+
+        All-or-nothing on purpose: the amortized dispatcher's resident
+        keys form a cross-rank protocol (each rank publishes blocks the
+        *other* ranks of its grid row/column will reference), and the
+        pre-skew file-backed key set only covers every Cannon epoch when
+        every rank participates.  Mixing file-backed and arena
+        publication per rank could leave residues unpublished, so a
+        single unmappable file sends the whole run down the arena path.
+        """
+        self.file_serving = False
+        if self.serve_mode != "mmap" or not self.hit:
+            return False
+        try:
+            for rank in range(self.p if p is None else p):
+                mapped = self.mapped_file(rank)
+                for key in _RANK_ARRAY_KEYS:
+                    mapped.slot(key)
+        except (ValueError, OSError, KeyError):
+            return False
+        self.file_serving = True
+        return True
+
     # -- rank-side hooks ----------------------------------------------------
 
     def load_rank(self, rank: int) -> tuple[Block, Block, Block, int]:
         """Load (and crc-verify) one rank's blocks from the store.
 
-        Returns ``(u_block, l_block, task_block, nbytes)``; raises
-        :class:`~repro.simmpi.errors.BlobChecksumError` on payload
-        corruption.
+        Under ``serve_mode="mmap"`` (the default) the blocks are
+        **served, not loaded**: their arrays are read-only views into a
+        shared map of the rank file, the crc verification pass is what
+        pages the bytes in, and the map is retained on this cache (see
+        :meth:`mapped_file`) so downstream resident publication can
+        reference the same pages.  Any structural mapping failure (a
+        compressed npz from an external writer, an exotic platform)
+        falls back to the copying ``np.load`` path — corruption does
+        not: a bad payload raises
+        :class:`~repro.simmpi.errors.BlobChecksumError` either way.
+
+        Returns ``(u_block, l_block, task_block, nbytes)``.
         """
+        from repro.simmpi.errors import BlobChecksumError
+
         path = self.store.rank_path(self.digest, rank)
+        if self.serve_mode == "mmap":
+            mapped = None
+            try:
+                mapped = self.mapped_file(rank)
+                blocks = {k: mapped.block(k) for k in _RANK_ARRAY_KEYS}
+            except BlobChecksumError:
+                # Corruption is NOT a structural fallback case: retrying
+                # via np.load would just hand out the same bad bytes
+                # (BlobChecksumError subclasses ValueError, so it must be
+                # re-raised before the mappability net below).
+                raise
+            except (ValueError, OSError, KeyError):
+                # Unmappable file layout — serve by copy instead.
+                if mapped is not None:
+                    self._mapped.pop(rank, None)
+                    mapped.close()
+            else:
+                nbytes = int(sum(b.blob.nbytes for b in blocks.values()))
+                self.loaded_nbytes += nbytes
+                self.mapped_ranks += 1
+                return blocks["u"], blocks["l"], blocks["task"], nbytes
         with np.load(path) as doc:
             blobs = {k: doc[k].copy() for k in _RANK_ARRAY_KEYS}
         nbytes = int(sum(b.nbytes for b in blobs.values()))
@@ -291,6 +488,29 @@ class RunCache:
             Block.from_blob(blobs["task"]),
             nbytes,
         )
+
+    def mapped_file(self, rank: int) -> MappedRankFile:
+        """The (cached) read-only map of one rank's npz file.
+
+        Raises ``ValueError``/``OSError`` when the file cannot be mapped
+        as stored-member zip; see :class:`MappedRankFile`.
+        """
+        mapped = self._mapped.get(rank)
+        if mapped is None:
+            mapped = MappedRankFile(self.store.rank_path(self.digest, rank))
+            self._mapped[rank] = mapped
+        return mapped
+
+    def blob_slot(self, rank: int, key: str) -> tuple[str, int, str, int]:
+        """File-backed resident address of one served blob:
+        ``(path, byte offset, dtype string, element count)``.
+
+        Only meaningful after :meth:`load_rank` mapped the rank (the
+        store file is immutable once finalized, so the address stays
+        valid for the process lifetime).
+        """
+        offset, dtype, count = self.mapped_file(rank).slot(key)
+        return str(self.store.rank_path(self.digest, rank)), offset, dtype, count
 
     def save_rank(
         self,

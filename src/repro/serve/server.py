@@ -16,9 +16,12 @@ The protocol surface is small and JSON-first:
 ``POST /v1/shutdown``                       graceful drain + exit
 ==========================================  =================================
 
-Admission rejections surface as **429** with a typed JSON body
-(``{"error": "rejected", "reason": "queue_full" | "tenant_quota" |
-"shutting_down"}``); malformed requests as 400.  Blocking operations
+Admission rejections surface as **429** (or **503** while draining)
+with a typed JSON body (``{"error": "rejected", "reason": "queue_full"
+| "tenant_quota" | "shutting_down", "retry_after_s": <float>}``) and a
+``Retry-After`` header derived from the current queue depth, so
+well-behaved clients back off for roughly as long as the backlog needs
+to drain; malformed requests as 400.  Blocking operations
 (result waits, event long-polls) run in worker threads via
 ``asyncio.to_thread`` so one slow client never stalls the accept loop.
 """
@@ -27,6 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
@@ -99,17 +103,19 @@ class ServeServer:
             if request is None:
                 return
             method, target, headers, body = request
-            status, ctype, payload = await self._route(
-                method, target, headers, body
-            )
+            # Handlers return (status, ctype, payload) plus an optional
+            # fourth element of extra response headers.
+            routed = await self._route(method, target, headers, body)
+            status, ctype, payload = routed[:3]
+            extra = routed[3] if len(routed) > 3 else None
         except asyncio.IncompleteReadError:
             return
         except Exception as exc:  # noqa: BLE001 - connection boundary
-            status, ctype, payload = 500, "application/json", _jbytes(
+            status, ctype, payload, extra = 500, "application/json", _jbytes(
                 {"error": "internal", "detail": f"{type(exc).__name__}: {exc}"}
-            )
+            ), None
         try:
-            writer.write(_response_bytes(status, ctype, payload))
+            writer.write(_response_bytes(status, ctype, payload, extra))
             await writer.drain()
         except (ConnectionError, BrokenPipeError):
             pass
@@ -122,8 +128,12 @@ class ServeServer:
 
     async def _route(
         self, method: str, target: str, headers: dict[str, str], body: bytes
-    ) -> tuple[int, str, bytes]:
-        """Dispatch one parsed request to its handler."""
+    ) -> tuple:
+        """Dispatch one parsed request to its handler.
+
+        Returns ``(status, content_type, payload)`` with an optional
+        fourth element of extra response headers.
+        """
         url = urlsplit(target)
         path, query = url.path.rstrip("/") or "/", parse_qs(url.query)
         if method == "GET" and path == "/healthz":
@@ -146,7 +156,7 @@ class ServeServer:
 
     async def _submit(
         self, headers: dict[str, str], body: bytes, query: dict
-    ) -> tuple[int, str, bytes]:
+    ) -> tuple:
         try:
             doc = json.loads(body.decode() or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -161,13 +171,21 @@ class ServeServer:
         try:
             job = self.service.submit(doc, tenant=tenant)
         except AdmissionError as exc:
+            body_doc: dict[str, Any] = {
+                "error": "rejected", "reason": exc.reason,
+                "detail": exc.detail,
+            }
+            extra: dict[str, str] | None = None
+            if exc.retry_after is not None:
+                body_doc["retry_after_s"] = exc.retry_after
+                # Retry-After is integer seconds; round up so a 0.3 s
+                # hint never collapses to an immediate retry storm.
+                extra = {"Retry-After": str(math.ceil(exc.retry_after))}
             return (
                 _REASON_STATUS.get(exc.reason, 429),
                 "application/json",
-                _jbytes(
-                    {"error": "rejected", "reason": exc.reason,
-                     "detail": exc.detail}
-                ),
+                _jbytes(body_doc),
+                extra,
             )
         except ValueError as exc:
             return 400, "application/json", _jbytes(
@@ -218,11 +236,18 @@ _STATUS_TEXT = {
 }
 
 
-def _response_bytes(status: int, ctype: str, payload: bytes) -> bytes:
+def _response_bytes(
+    status: int,
+    ctype: str,
+    payload: bytes,
+    headers: dict[str, str] | None = None,
+) -> bytes:
+    extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
         f"Content-Type: {ctype}\r\n"
         f"Content-Length: {len(payload)}\r\n"
+        f"{extra}"
         "Connection: close\r\n\r\n"
     )
     return head.encode() + payload

@@ -63,12 +63,20 @@ class AdmissionError(RuntimeError):
     of admitted jobs in flight) or ``"shutting_down"`` (the service is
     draining).  The HTTP layer maps it to a 429-style response; the
     caller is expected to back off and retry.
+
+    ``retry_after`` is the service's backoff hint in seconds — derived
+    from the current queue depth and observed cold latency, it estimates
+    when capacity will next free up.  The HTTP layer turns it into a
+    ``Retry-After`` header.
     """
 
-    def __init__(self, reason: str, detail: str = ""):
+    def __init__(
+        self, reason: str, detail: str = "", retry_after: float | None = None
+    ):
         super().__init__(detail or reason)
         self.reason = reason
         self.detail = detail or reason
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -542,7 +550,11 @@ class TriangleService:
         with self._lock:
             if self._closing:
                 self.metrics.note_reject("shutting_down")
-                raise AdmissionError("shutting_down", "service is draining")
+                raise AdmissionError(
+                    "shutting_down",
+                    "service is draining",
+                    retry_after=self._retry_after_locked(),
+                )
             cached = self._results.get(key)
             if cached is not None:
                 self._results.move_to_end(key)  # LRU touch
@@ -563,6 +575,7 @@ class TriangleService:
                 raise AdmissionError(
                     "queue_full",
                     f"cold-job capacity reached ({capacity} admitted)",
+                    retry_after=self._retry_after_locked(),
                 )
             admitted = self._tenant_admitted.get(tenant, 0)
             if admitted >= self.config.tenant_quota:
@@ -571,6 +584,7 @@ class TriangleService:
                     "tenant_quota",
                     f"tenant {tenant!r} already has {admitted} jobs admitted "
                     f"(quota {self.config.tenant_quota})",
+                    retry_after=self._retry_after_locked(),
                 )
             job = self._new_job_locked(tenant, spec)
             self._queued += 1
@@ -637,6 +651,21 @@ class TriangleService:
         self.close()
 
     # -- internals ----------------------------------------------------------
+
+    def _retry_after_locked(self) -> float:
+        """Backoff hint (seconds) from queue depth and cold latency.
+
+        Admitted work drains in waves of ``max_inflight`` jobs, each
+        wave taking roughly one cold-p50 latency; the hint is how long
+        the *currently admitted* backlog needs to clear.  Before any
+        cold run has completed there is no latency sample, so the hint
+        degrades to one second per wave — small, but still shaped by
+        depth so a saturated cold-start herd spreads out.  Caller holds
+        ``self._lock`` (the metrics lock nests safely inside it).
+        """
+        waves = (self._queued + self._inflight) / max(1, self.config.max_inflight)
+        per_wave = self.metrics.percentile("cold", 0.5) or 1.0
+        return round(max(1.0, waves * per_wave), 3)
 
     def _new_job_locked(self, tenant: str, spec: dict[str, Any]) -> Job:
         self._seq += 1

@@ -296,6 +296,29 @@ class RankContext:
             )
         pool.put_resident(key, array)
 
+    def put_resident_file(self, key: Any, slot: Any) -> None:
+        """Publish a **file-backed** resident slot under ``key`` (see
+        :meth:`repro.simmpi.parallel.SuperstepPool.put_resident_file`).
+
+        ``slot`` is ``(path, byte offset, dtype string, element count)``
+        into an immutable file; workers mmap it instead of receiving a
+        copy through the arena — how warm cache-hit runs serve their
+        store-resident block blobs with zero parent-side copies.
+        """
+        pool = self.engine.superstep
+        if pool is None:
+            raise SimMPIError(
+                "no superstep pool attached to this engine; construct it "
+                "with Engine(..., superstep=SuperstepPool(...)) or use the "
+                "sequential executor"
+            )
+        pool.put_resident_file(key, slot)
+
+    def has_resident(self, key: Any) -> bool:
+        """Whether ``key`` is published on the pool (False without one)."""
+        pool = self.engine.superstep
+        return pool is not None and pool.has_resident(key)
+
     @contextmanager
     def phase(self, name: str) -> Iterator[PhaseStats]:
         """Scope a named timing phase (nestable)."""

@@ -65,6 +65,16 @@ growth — the region is copied to the new segment before the old one is
 unlinked) and are dropped by :meth:`SuperstepPool.reset`, which bumps
 ``resident_generation`` so stale keys cannot alias across engine runs.
 
+A resident may also be **file-backed**
+(:meth:`SuperstepPool.put_resident_file`): instead of copying bytes into
+the arena, the slot records ``(path, offset, dtype, count)`` into an
+immutable on-disk file — a store rank file served by
+:class:`~repro.graph.store.MappedRankFile` — and each worker ``mmap``\ s
+the file once and rebuilds read-only views on demand.  Warm cache-hit
+runs publish their U/L/task blobs this way: the block bytes go straight
+from the page cache into the kernels without ever being copied through
+the parent process or the arena.
+
 Worker lifecycle (spawn, not fork)
 ----------------------------------
 Workers are started with the explicit ``spawn`` context: each worker is
@@ -86,6 +96,7 @@ hang or a silent partial result.
 from __future__ import annotations
 
 import importlib
+import mmap
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -226,8 +237,11 @@ class _JobDesc:
     """Worker-side description of one job (small and picklable)."""
 
     shm_name: str
-    #: Per-array (byte offset, dtype string, element count) into the arena.
-    slots: tuple[tuple[int, str, int], ...]
+    #: Per-array slot: a 3-tuple ``(byte offset, dtype string, element
+    #: count)`` into the arena, or a 4-tuple ``(path, byte offset, dtype
+    #: string, element count)`` into an immutable on-disk file that the
+    #: worker memory-maps (file-backed residents).
+    slots: tuple[tuple, ...]
     entry: str
     meta: dict
     #: Virtual rank the job belongs to (per-job failure attribution when
@@ -352,6 +366,22 @@ def _attach_arena(name: str) -> shared_memory.SharedMemory:
     return shm
 
 
+#: Read-only mmaps of file-backed resident files held by this worker,
+#: keyed by path.  Store rank files are immutable (written once, then
+#: only renamed), so a mapping never goes stale; at most a handful of
+#: files are live per run, so no eviction is needed.
+_WORKER_MMAPS: dict[str, mmap.mmap] = {}
+
+
+def _attach_file(path: str) -> mmap.mmap:
+    mm = _WORKER_MMAPS.get(path)
+    if mm is None:
+        with open(path, "rb") as fh:
+            mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        _WORKER_MMAPS[path] = mm
+    return mm
+
+
 def _run_job(desc: _JobDesc) -> dict[str, Any]:
     """Execute one job in a worker: map the arena, rebuild zero-copy
     array views, run the entry, return its (picklable) result plus the
@@ -364,10 +394,23 @@ def _run_job(desc: _JobDesc) -> dict[str, Any]:
     """
     t0 = time.perf_counter()
     shm = _attach_arena(desc.shm_name)
-    arrays = [
-        np.frombuffer(shm.buf, dtype=np.dtype(dt), count=count, offset=off)
-        for off, dt, count in desc.slots
-    ]
+    arrays = []
+    for slot in desc.slots:
+        if len(slot) == 4:  # file-backed resident: map, don't copy
+            path, off, dt, count = slot
+            arrays.append(
+                np.frombuffer(
+                    _attach_file(path), dtype=np.dtype(dt), count=count,
+                    offset=off,
+                )
+            )
+        else:
+            off, dt, count = slot
+            arrays.append(
+                np.frombuffer(
+                    shm.buf, dtype=np.dtype(dt), count=count, offset=off
+                )
+            )
     fn = _resolve_entry(desc.entry)
     result = fn(arrays, desc.meta)
     del arrays  # release the exported buffer before the next arena swap
@@ -544,8 +587,10 @@ class SuperstepPool:
         self._pending: dict[int, _PendingJob] = {}
         self._results: dict[int, Any] = {}
         self._spans: list[WorkerSpan] = []
-        #: Resident slots: key -> (offset, dtype str, element count).
-        self._resident: dict[Any, tuple[int, str, int]] = {}
+        #: Resident slots: key -> (offset, dtype str, element count) for
+        #: arena slots, or (path, offset, dtype str, element count) for
+        #: file-backed slots (see :meth:`put_resident_file`).
+        self._resident: dict[Any, tuple] = {}
         self.resident_generation = 0
         self._t0 = time.perf_counter()
         self.dispatches = 0
@@ -633,6 +678,36 @@ class SuperstepPool:
                 key=repr(key),
                 nbytes=int(arr.nbytes),
                 used_bytes=self._arena.resident_used,
+                generation=self.resident_generation,
+            )
+
+    def put_resident_file(
+        self, key: Any, slot: tuple[str, int, str, int]
+    ) -> None:
+        """Publish a **file-backed** resident slot under ``key``.
+
+        ``slot`` is ``(path, byte offset, dtype string, element count)``
+        into a file that must stay byte-immutable while published (store
+        rank files qualify: they are written once via atomic rename and
+        never modified).  Nothing is copied anywhere — each worker
+        ``mmap``\\ s the file on first use and rebuilds read-only views,
+        so the bytes travel page cache → kernel with zero parent-side
+        copies.  Shares the key namespace, generation semantics and
+        :meth:`reset` lifecycle with :meth:`put_resident`.
+        """
+        if self._executor is None:
+            raise SimMPIError("superstep pool is shut down")
+        path, offset, dtype_str, count = slot
+        nbytes = int(count) * np.dtype(dtype_str).itemsize
+        self._resident[key] = (str(path), int(offset), str(dtype_str), int(count))
+        self.stats.resident_puts += 1
+        self.stats.resident_bytes += nbytes
+        if self._telemetry is not None:
+            self._telemetry.note(
+                "pool.resident",
+                key=repr(key),
+                nbytes=nbytes,
+                storage="file",
                 generation=self.resident_generation,
             )
 
@@ -746,7 +821,7 @@ class SuperstepPool:
         resident_hits = 0
         descs: list[_JobDesc] = []
         for job in jobs:
-            slots: list[tuple[int, str, int]] = []
+            slots: list[tuple] = []
             for a in job.arrays:
                 if isinstance(a, Resident):
                     slot = self._resident.get(a.key)

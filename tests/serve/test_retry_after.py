@@ -1,0 +1,172 @@
+"""Backpressure hints: Retry-After derivation, transport, client backoff.
+
+Admission rejections are only useful if they tell the herd *when* to
+come back: the service derives a hint from queue depth × observed cold
+latency, the HTTP layer ships it as a ``Retry-After`` header (integer
+seconds, rounded up) plus a ``retry_after_s`` body field, and
+:meth:`ServeClient.submit` can opt into honoring it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import ServeClient, ServeConfig, ServeRejected
+from repro.serve.service import AdmissionError
+from repro.serve.server import run_server
+
+
+def _req(graph_file, **over):
+    doc = {"kind": "count", "dataset": str(graph_file), "ranks": 4}
+    doc.update(over)
+    return doc
+
+
+# -- service layer: every rejection carries a hint ----------------------------
+
+
+def test_quota_rejection_carries_retry_after(service, graph_file):
+    for seed in (1, 2):
+        service.submit(_req(graph_file, seed=seed), tenant="t0")
+    with pytest.raises(AdmissionError) as exc:
+        service.submit(_req(graph_file, seed=3), tenant="t0")
+    assert exc.value.reason == "tenant_quota"
+    assert exc.value.retry_after is not None
+    assert exc.value.retry_after >= 1.0  # never an immediate-retry hint
+
+
+def test_shutting_down_rejection_carries_retry_after(service, graph_file):
+    service.close(drain=True)
+    with pytest.raises(AdmissionError) as exc:
+        service.submit(_req(graph_file, seed=9))
+    assert exc.value.reason == "shutting_down"
+    assert exc.value.retry_after is not None and exc.value.retry_after >= 1.0
+
+
+# -- HTTP layer: header + body round trip -------------------------------------
+
+
+def test_http_429_carries_retry_after_header(graph_file):
+    captured: dict = {}
+    ready = threading.Event()
+
+    def announce(server) -> None:
+        captured["port"] = server.port
+        ready.set()
+
+    thread = threading.Thread(
+        target=run_server,
+        args=(ServeConfig(max_inflight=1, max_queue=0, tenant_quota=8),),
+        kwargs={"port": 0, "announce": announce},
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(30)
+    client = ServeClient("127.0.0.1", captured["port"], timeout=120)
+    try:
+        rejects = []
+        for seed in range(60, 66):
+            try:
+                client.submit(_req(graph_file, seed=seed), wait=False)
+            except ServeRejected as exc:
+                rejects.append((exc, dict(client.last_headers)))
+        assert rejects, "burst never hit admission control"
+        for exc, headers in rejects:
+            assert exc.status == 429 and exc.reason == "queue_full"
+            # Header is integer seconds (RFC 9110), rounded *up* from
+            # the float hint so a sub-second hint can't collapse to 0.
+            header = headers.get("retry-after")
+            assert header is not None and header.isdigit()
+            assert int(header) >= 1
+            body_hint = exc.body.get("retry_after_s")
+            assert body_hint is not None
+            assert int(header) >= body_hint > 0
+            # The typed exception prefers the header's value.
+            assert exc.retry_after == float(header)
+    finally:
+        client.shutdown()
+        thread.join(timeout=60)
+
+
+# -- client backoff: opt-in, bounded, hint-driven ------------------------------
+
+
+def _stub_client(monkeypatch, outcomes):
+    """A ServeClient whose _checked pops scripted outcomes; records sleeps."""
+    client = ServeClient("127.0.0.1", 1)
+    calls = {"n": 0}
+    sleeps: list[float] = []
+
+    def fake_checked(method, path, body=None, headers=None):
+        calls["n"] += 1
+        result = outcomes[min(calls["n"], len(outcomes)) - 1]
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    monkeypatch.setattr(client, "_checked", fake_checked)
+    monkeypatch.setattr(
+        "repro.serve.client.time.sleep", lambda s: sleeps.append(s)
+    )
+    return client, calls, sleeps
+
+
+def test_submit_retries_queue_full_with_hint(monkeypatch):
+    reject = ServeRejected(429, {"reason": "queue_full", "retry_after_s": 2.5})
+    client, calls, sleeps = _stub_client(
+        monkeypatch, [reject, reject, {"state": "done"}]
+    )
+    doc = client.submit({"kind": "count"}, retries=3)
+    assert doc == {"state": "done"}
+    assert calls["n"] == 3
+    assert sleeps == [2.5, 2.5]  # slept exactly the server's hint
+
+
+def test_submit_backoff_is_capped(monkeypatch):
+    reject = ServeRejected(
+        429, {"reason": "queue_full", "retry_after_s": 500.0}
+    )
+    client, _calls, sleeps = _stub_client(
+        monkeypatch, [reject, {"state": "done"}]
+    )
+    client.submit({"kind": "count"}, retries=1, max_backoff=3.0)
+    assert sleeps == [3.0]
+
+
+def test_submit_without_retries_raises_immediately(monkeypatch):
+    reject = ServeRejected(429, {"reason": "queue_full", "retry_after_s": 1.0})
+    client, calls, sleeps = _stub_client(monkeypatch, [reject])
+    with pytest.raises(ServeRejected):
+        client.submit({"kind": "count"})  # retries defaults to 0
+    assert calls["n"] == 1 and sleeps == []
+
+
+def test_submit_never_retries_shutting_down(monkeypatch):
+    reject = ServeRejected(
+        503, {"reason": "shutting_down", "retry_after_s": 5.0}
+    )
+    client, calls, sleeps = _stub_client(monkeypatch, [reject])
+    with pytest.raises(ServeRejected) as exc:
+        client.submit({"kind": "count"}, retries=10)
+    assert exc.value.reason == "shutting_down"
+    assert calls["n"] == 1 and sleeps == []  # waiting cannot help a drain
+
+
+def test_submit_exhausts_retries_and_propagates(monkeypatch):
+    reject = ServeRejected(429, {"reason": "tenant_quota"})  # no hint at all
+    client, calls, sleeps = _stub_client(monkeypatch, [reject])
+    with pytest.raises(ServeRejected):
+        client.submit({"kind": "count"}, retries=2)
+    assert calls["n"] == 3
+    assert sleeps == [1.0, 1.0]  # hint-less rejection: 1 s default
+
+
+def test_rejected_exception_parses_hints():
+    # Header beats body; body alone works; neither -> None.
+    assert ServeRejected(429, {"reason": "x", "retry_after_s": 2.0},
+                         retry_after=4.0).retry_after == 4.0
+    assert ServeRejected(429, {"reason": "x", "retry_after_s": 2.0}
+                         ).retry_after == 2.0
+    assert ServeRejected(429, {"reason": "x"}).retry_after is None
