@@ -7,13 +7,14 @@ PYTHON ?= python
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
-lint:           ## ruff (if installed) + docstring-coverage gate
+lint:           ## ruff (if installed) + docstring-coverage + doc-link gates
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src tests benchmarks examples; \
 	else \
 		echo "ruff is not installed (python -m pip install ruff); skipping lint"; \
 	fi
 	$(PYTHON) tools/check_docstrings.py
+	$(PYTHON) tools/check_doclinks.py
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -207,6 +207,39 @@ def rows_from_bench(report: dict[str, Any]) -> list[dict[str, Any]]:
                     ),
                 }
             )
+        elif suite == "autotune":
+            # One row per measured candidate, shaped exactly as
+            # repro.core.autotune._history_makespans consumes them
+            # ({dataset}-{alg}-p{p} / virtual_makespan_s), so appending
+            # this report feeds measured ground truth back to the
+            # planner; plus one -auto row carrying the plan quality.
+            for key, cand in sorted((case.get("candidates") or {}).items()):
+                rows.append(
+                    {
+                        "suite": suite,
+                        "case": f"{name}-{key}",
+                        "metrics": _metrics(
+                            cand,
+                            count=cand.get("count"),
+                            virtual_makespan_s=cand.get(
+                                "virtual_makespan_s"
+                            ),
+                            predicted_s=cand.get("predicted_s"),
+                        ),
+                    }
+                )
+            rows.append(
+                {
+                    "suite": suite,
+                    "case": f"{name}-auto",
+                    "metrics": _metrics(
+                        {},
+                        chosen=case.get("chosen"),
+                        best_measured=case.get("best_measured"),
+                        ratio_vs_best=case.get("ratio_vs_best"),
+                    ),
+                }
+            )
         else:
             rows.append(
                 {

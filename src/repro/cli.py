@@ -30,6 +30,12 @@ Commands
     Append-only benchmark run database: ``append`` telemetry records or
     bench reports, ``list`` rows, ``check`` the newest rows against a
     committed baseline (the CI regression gate).
+``autotune``
+    Cost-model plan table for a dataset — the machinery behind
+    ``count --auto`` (see docs/autotune.md).
+``serve`` / ``submit``
+    Multi-tenant counting service over a shared store, and its client
+    (see docs/serve.md).
 
 One ``--seed`` governs everything derived from randomness: the scaled
 dataset generators (via ``--seed`` on ``count``/``profile``/``census``),
@@ -111,12 +117,15 @@ def _print_cache_status(res) -> None:
 
 def _start_telemetry(args: argparse.Namespace):
     """Create + start a Telemetry session when ``--telemetry FILE`` was
-    given (tc2d only — the other algorithms don't plumb it through)."""
+    given (tc2d/coveredge only — the other algorithms don't plumb it
+    through)."""
     out = getattr(args, "telemetry", None)
     if not out:
         return None
-    if args.algorithm != "tc2d":
-        raise SystemExit("--telemetry is implemented for -a tc2d only")
+    if args.algorithm not in ("tc2d", "coveredge"):
+        raise SystemExit(
+            "--telemetry is implemented for -a tc2d and -a coveredge only"
+        )
     from repro.instrument import Telemetry
 
     tele = Telemetry(crash_dir=Path(out).parent)
@@ -193,6 +202,156 @@ def _count_out_of_core(args: argparse.Namespace, spec: str, cfg, trace_on: bool)
     return 0
 
 
+#: Count-command flags whose explicit use pins the corresponding
+#: auto-tuner plan field (``--auto`` never overrides a pinned flag).
+_PLAN_FLAG_DESTS = {
+    "--ranks": "p",
+    "-p": "p",
+    "--algorithm": "algorithm",
+    "-a": "algorithm",
+    "--kernel": "kernel_backend",
+    "--executor": "executor",
+    "--workers": "workers",
+    "--dispatch": "dispatch",
+}
+
+
+def _count_parser() -> argparse.ArgumentParser:
+    """The ``count`` subparser out of the real argparse tree (shared with
+    the doc-link linter, which validates documented invocations)."""
+    parser = build_parser()
+    for act in parser._actions:
+        if isinstance(act, argparse._SubParsersAction):
+            return act.choices["count"]
+    raise RuntimeError("count subparser not found")  # pragma: no cover
+
+
+def _pinned_from_argv(argv) -> set[str]:
+    """Plan fields the user pinned by spelling the flag on the command
+    line (exact, ``--flag=value``, unambiguous-prefix and ``-p16``-style
+    spellings all count, mirroring argparse's own matching)."""
+    longs = sorted(
+        {
+            s
+            for act in _count_parser()._actions
+            for s in act.option_strings
+            if s.startswith("--")
+        }
+    )
+    pinned: set[str] = set()
+    for tok in argv:
+        if not tok.startswith("-") or tok == "--":
+            continue
+        name = tok.split("=", 1)[0]
+        if name.startswith("--"):
+            matches = (
+                [name]
+                if name in longs
+                else [s for s in longs if s.startswith(name)]
+            )
+            if len(matches) != 1:
+                continue
+            name = matches[0]
+        else:
+            name = name[:2]  # short flag, possibly glued to its value
+        dest = _PLAN_FLAG_DESTS.get(name)
+        if dest:
+            pinned.add(dest)
+    return pinned
+
+
+def _apply_auto_plan(args: argparse.Namespace, g: Graph, spec: str):
+    """``count --auto``: plan the run and fold the unpinned fields back
+    into ``args`` (the normal dispatch below then just runs the plan)."""
+    import os
+
+    from repro.bench.calibration import paper_model
+    from repro.core.autotune import plan_run
+
+    fields = _pinned_from_argv(getattr(args, "_argv", None) or ())
+    source = {
+        "p": args.ranks,
+        "algorithm": args.algorithm,
+        "kernel_backend": args.kernel,
+        "executor": args.executor,
+        "workers": args.workers,
+        "dispatch": args.dispatch,
+    }
+    pinned = {f: source[f] for f in fields}
+    if pinned.get("algorithm") not in (None, "tc2d", "coveredge"):
+        raise SystemExit(
+            "--auto plans the grid algorithms (tc2d, coveredge); drop "
+            f"--auto to run -a {pinned['algorithm']}"
+        )
+    plan = plan_run(
+        g,
+        model=paper_model(),
+        pinned=pinned,
+        dataset=spec,
+        cores=os.cpu_count() or 1,
+        max_p=args.auto_max_p,
+        seed=args.seed,
+    )
+    args.ranks, args.algorithm = plan.p, plan.algorithm
+    args.kernel, args.executor = plan.kernel_backend, plan.executor
+    args.workers, args.dispatch = plan.workers, plan.dispatch
+    extra = f"; pinned: {', '.join(plan.pinned)}" if plan.pinned else ""
+    print(
+        f"auto: -a {plan.algorithm} -p {plan.p} "
+        f"--kernel {plan.kernel_backend} --executor {plan.executor} "
+        f"--dispatch {plan.dispatch} (predicted {plan.predicted_s:.6f}s "
+        f"over {len(plan.predicted)} candidates{extra})"
+    )
+    return plan
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    """Print the auto-tuner's candidate table (optionally measured)."""
+    import os
+
+    from repro.bench.calibration import paper_model
+    from repro.core import (
+        TC2DConfig,
+        count_triangles_2d,
+        count_triangles_coveredge,
+    )
+    from repro.core.autotune import format_plan_table, plan_run
+    from repro.graph.stats import degree_summary
+
+    g = _load_graph(args.dataset, args.seed)
+    print(f"{args.dataset}: {degree_summary(g)}")
+    model = paper_model()
+    plan = plan_run(
+        g,
+        model=model,
+        dataset=args.dataset,
+        history=args.history,
+        cores=args.cores or (os.cpu_count() or 1),
+        max_p=args.max_p,
+        seed=args.seed,
+    )
+    measured: dict[str, float] = {}
+    if args.measure:
+        drivers = {
+            "tc2d": count_triangles_2d,
+            "coveredge": count_triangles_coveredge,
+        }
+        for key in sorted(plan.predicted):
+            alg, _, ps = key.rpartition("-p")
+            res = drivers[alg](
+                g, int(ps), TC2DConfig(algorithm=alg), model=model,
+                dataset=args.dataset,
+            )
+            measured[key] = res.extras["makespan"]
+    print(format_plan_table(plan, measured))
+    if measured:
+        best = min(measured, key=lambda k: (measured[k], k))
+        chosen = f"{plan.algorithm}-p{plan.p}"
+        ratio = measured[chosen] / measured[best] if measured[best] > 0 else 1.0
+        print(f"auto vs best measured ({best}): {ratio:.3f}x")
+    return 0
+
+
 def _cmd_count(args: argparse.Namespace) -> int:
     from repro.baselines import (
         count_triangles_aop,
@@ -201,17 +360,36 @@ def _cmd_count(args: argparse.Namespace) -> int:
         count_triangles_surrogate,
     )
     from repro.bench.calibration import paper_model
-    from repro.core import TC2DConfig, count_triangles_2d, count_triangles_summa
+    from repro.core import (
+        TC2DConfig,
+        count_triangles_2d,
+        count_triangles_coveredge,
+        count_triangles_summa,
+    )
     from repro.graph.stats import degree_summary, triangle_count_linalg
 
     spec = _dataset_spec(args)
+    auto_plan = None
+    g = None
+    if getattr(args, "auto", False):
+        if args.out_of_core:
+            raise SystemExit(
+                "--auto inspects the whole graph; it cannot be combined "
+                "with --out-of-core"
+            )
+        g = _load_graph(spec, args.seed)
+        auto_plan = _apply_auto_plan(args, g, spec)
     trace_on = bool(args.trace or args.profile)
-    if trace_on and args.algorithm not in ("tc2d", "summa"):
+    if trace_on and args.algorithm not in ("tc2d", "summa", "coveredge"):
         raise SystemExit(
             "--trace/--profile need the simulated grid algorithms "
-            "(-a tc2d or -a summa)"
+            "(-a tc2d, -a coveredge or -a summa)"
         )
     cfg = TC2DConfig(
+        algorithm=(
+            args.algorithm if args.algorithm in ("tc2d", "coveredge")
+            else "tc2d"
+        ),
         enumeration=args.enumeration,
         doubly_sparse=not args.no_doubly_sparse,
         modified_hashing=not args.no_modified_hashing,
@@ -229,17 +407,32 @@ def _cmd_count(args: argparse.Namespace) -> int:
     )
     if args.out_of_core:
         return _count_out_of_core(args, spec, cfg, trace_on)
-    g = _load_graph(spec, args.seed)
+    if g is None:
+        g = _load_graph(spec, args.seed)
     print(f"{spec}: {degree_summary(g)}")
     model = paper_model()
-    if args.executor == "parallel" and args.algorithm != "tc2d":
-        raise SystemExit("--executor parallel is implemented for -a tc2d only")
+    if args.executor == "parallel" and args.algorithm not in (
+        "tc2d", "coveredge"
+    ):
+        raise SystemExit(
+            "--executor parallel is implemented for -a tc2d and "
+            "-a coveredge only"
+        )
     cache = _cache_arg(args)
-    if cache is not None and args.algorithm != "tc2d":
-        raise SystemExit("--cache/--store are implemented for -a tc2d only")
+    if cache is not None and args.algorithm not in ("tc2d", "coveredge"):
+        raise SystemExit(
+            "--cache/--store are implemented for -a tc2d and "
+            "-a coveredge only"
+        )
     tele = _start_telemetry(args)
     if args.algorithm == "tc2d":
         res = count_triangles_2d(
+            g, args.ranks, cfg=cfg, model=model, trace=trace_on, dataset=spec,
+            cache=cache, telemetry=tele,
+        )
+        _print_cache_status(res)
+    elif args.algorithm == "coveredge":
+        res = count_triangles_coveredge(
             g, args.ranks, cfg=cfg, model=model, trace=trace_on, dataset=spec,
             cache=cache, telemetry=tele,
         )
@@ -263,6 +456,8 @@ def _cmd_count(args: argparse.Namespace) -> int:
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown algorithm {args.algorithm}")
 
+    if auto_plan is not None:
+        res.extras["autotune"] = auto_plan.to_dict()
     print(res.summary())
     if tele is not None:
         _finish_telemetry(args, tele, res)
@@ -335,10 +530,19 @@ def _emit_observability(args: argparse.Namespace, res) -> None:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.bench.calibration import paper_model
-    from repro.core import TC2DConfig, count_triangles_2d, count_triangles_summa
+    from repro.core import (
+        TC2DConfig,
+        count_triangles_2d,
+        count_triangles_coveredge,
+        count_triangles_summa,
+    )
 
     spec = _dataset_spec(args)
     cfg = TC2DConfig(
+        algorithm=(
+            args.algorithm if args.algorithm in ("tc2d", "coveredge")
+            else "tc2d"
+        ),
         kernel_backend=args.kernel,
         executor=args.executor,
         workers=args.workers,
@@ -353,14 +557,27 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         args.profile = True
         return _count_out_of_core(args, spec, cfg, trace_on=True)
     g = _load_graph(spec, args.seed)
-    if args.executor == "parallel" and args.algorithm != "tc2d":
-        raise SystemExit("--executor parallel is implemented for -a tc2d only")
+    if args.executor == "parallel" and args.algorithm not in (
+        "tc2d", "coveredge",
+    ):
+        raise SystemExit(
+            "--executor parallel is implemented for -a tc2d and "
+            "-a coveredge only"
+        )
     cache = _cache_arg(args)
-    if cache is not None and args.algorithm != "tc2d":
-        raise SystemExit("--cache/--store are implemented for -a tc2d only")
+    if cache is not None and args.algorithm not in ("tc2d", "coveredge"):
+        raise SystemExit(
+            "--cache/--store are implemented for -a tc2d and -a coveredge only"
+        )
     tele = _start_telemetry(args)
     if args.algorithm == "tc2d":
         res = count_triangles_2d(
+            g, args.ranks, cfg=cfg, model=paper_model(), trace=True,
+            dataset=spec, cache=cache, telemetry=tele,
+        )
+        _print_cache_status(res)
+    elif args.algorithm == "coveredge":
+        res = count_triangles_coveredge(
             g, args.ranks, cfg=cfg, model=paper_model(), trace=True,
             dataset=spec, cache=cache, telemetry=tele,
         )
@@ -823,8 +1040,20 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument(
         "--algorithm",
         "-a",
-        choices=["tc2d", "summa", "aop", "surrogate", "psp", "havoq"],
+        choices=["tc2d", "coveredge", "summa", "aop", "surrogate", "psp",
+                 "havoq"],
         default="tc2d",
+    )
+    c.add_argument(
+        "--auto",
+        action="store_true",
+        help="pick algorithm/grid/kernel/executor with the cost-model "
+        "auto-tuner (explicitly spelled flags stay pinned; see "
+        "docs/autotune.md)",
+    )
+    c.add_argument(
+        "--auto-max-p", type=int, default=64, dest="auto_max_p",
+        help="largest rank count --auto may plan (default: 64)",
     )
     c.add_argument("--enumeration", choices=["jik", "ijk"], default="jik")
     c.add_argument(
@@ -868,7 +1097,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pr.add_argument("--ranks", "-p", type=int, default=16)
     pr.add_argument(
-        "--algorithm", "-a", choices=["tc2d", "summa"], default="tc2d"
+        "--algorithm", "-a", choices=["tc2d", "coveredge", "summa"],
+        default="tc2d",
     )
     pr.add_argument(
         "--kernel",
@@ -1078,6 +1308,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     b.set_defaults(fn=_cmd_bench)
 
+    at = sub.add_parser(
+        "autotune",
+        help="cost-model plan (algorithm × grid × kernel) for a dataset",
+        description="Collect cheap graph signals, predict the virtual "
+        "makespan of every tc2d/coveredge × grid candidate, and print the "
+        "ranked table (see docs/autotune.md). With --measure every "
+        "candidate is also run so predictions can be compared to "
+        "measured virtual times.",
+    )
+    at.add_argument("dataset", help="registry name or edge-list file path")
+    at.add_argument(
+        "--max-p", type=int, default=16, dest="max_p",
+        help="largest rank count to consider (default: 16)",
+    )
+    at.add_argument(
+        "--measure",
+        action="store_true",
+        help="run every candidate and print measured virtual makespans",
+    )
+    at.add_argument("--seed", type=int, default=0)
+    at.add_argument(
+        "--cores", type=int, default=0,
+        help="physical cores assumed for the executor choice "
+        "(0 = this machine)",
+    )
+    at.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="run-history JSONL (repro history) whose measured makespans "
+        "override the model's predictions",
+    )
+    at.set_defaults(fn=_cmd_autotune)
+
     return parser
 
 
@@ -1092,6 +1354,7 @@ def main(argv: list[str] | None = None) -> int:
             rest = rest[1:]
         return chaos_main(rest)
     args = build_parser().parse_args(argv)
+    args._argv = argv  # count --auto: detect explicitly pinned flags
     return args.fn(args)
 
 

@@ -11,7 +11,16 @@ Public entry points:
   ablation benchmarks).
 * :func:`~repro.core.summa.count_triangles_summa` — the rectangular-grid
   SUMMA variant sketched in the paper's conclusion.
+* :func:`~repro.core.coveredge.count_triangles_coveredge` — the
+  cover-edge algorithm (Bader et al.) on the same substrate, emitting
+  the same result/span/counter contracts as tc2d.
+* :func:`~repro.core.autotune.plan_run` — the cost-model auto-tuner
+  behind ``repro count --auto``: pick algorithm × grid × kernel ×
+  executor from cheap graph signals and the machine model.
 """
+
+from repro.core.autotune import GraphSignals, Plan, collect_signals, plan_run
+from repro.core.coveredge import count_triangles_coveredge
 
 from repro.core.allgather_variant import count_triangles_2d_allgather
 from repro.core.approximate import ApproxResult, approx_count_triangles_2d
@@ -25,16 +34,21 @@ from repro.core.summa import count_triangles_summa
 
 __all__ = [
     "ApproxResult",
+    "GraphSignals",
+    "Plan",
     "ProcessorGrid",
     "ShiftRecord",
     "TC2DConfig",
     "TriangleCensus",
     "TriangleCountResult",
     "approx_count_triangles_2d",
+    "collect_signals",
     "compare_distributions",
     "count_triangles_2d",
     "count_triangles_2d_allgather",
+    "count_triangles_coveredge",
     "count_triangles_summa",
+    "plan_run",
     "task_distribution_stats",
     "triangle_census_2d",
 ]

@@ -15,6 +15,14 @@ from typing import Any
 #: hashes the lower-degree endpoint and probes with the long lists.
 ENUMERATIONS = ("jik", "ijk")
 
+#: Valid grid algorithms sharing this config: "tc2d" is the paper's
+#: U/L-split Cannon pipeline (:func:`~repro.core.tc2d.count_triangles_2d`);
+#: "coveredge" is the cover-edge two-pass variant of Bader et al.
+#: (:func:`~repro.core.coveredge.count_triangles_coveredge`).  Both emit
+#: identical counts; they trade preprocessing (BFS levels) against
+#: counting work differently, which is what the auto-tuner exploits.
+ALGORITHMS = ("tc2d", "coveredge")
+
 #: Valid intersection-kernel backends (see :mod:`repro.core.kernels`):
 #: "row" is the reference per-row loop, "batch" the fully vectorized
 #: implementation, "auto" picks per block pair from cheap shape stats.
@@ -43,6 +51,14 @@ class TC2DConfig:
 
     Attributes
     ----------
+    algorithm:
+        Which grid algorithm consumes this config: ``"tc2d"`` (the
+        paper's U/L-split pipeline) or ``"coveredge"`` (the cover-edge
+        two-pass variant).  Part of :meth:`store_key` because the two
+        pipelines emit entirely different preprocessed blocks.  The
+        drivers normalize it (``count_triangles_2d`` ignores it;
+        ``count_triangles_coveredge`` forces ``"coveredge"``), so it is
+        primarily CLI/auto-tuner plumbing.
     enumeration:
         ``"jik"`` (tasks = non-zeros of L, hash U's rows) or ``"ijk"``
         (tasks = non-zeros of U).  Section 7.3 reports jik cutting the
@@ -134,6 +150,7 @@ class TC2DConfig:
         stays out of :meth:`store_key`.
     """
 
+    algorithm: str = "tc2d"
     enumeration: str = "jik"
     doubly_sparse: bool = True
     modified_hashing: bool = True
@@ -154,6 +171,11 @@ class TC2DConfig:
     memory_budget: int = 0
 
     def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be one of {ALGORITHMS}, "
+                f"got {self.algorithm!r}"
+            )
         if self.enumeration not in ENUMERATIONS:
             raise ValueError(
                 f"enumeration must be one of {ENUMERATIONS}, "
@@ -190,13 +212,17 @@ class TC2DConfig:
         """The toggles that change the *preprocessing output* (and hence
         the artifact digest of :mod:`repro.graph.store`).
 
-        Only ``enumeration`` (which side becomes the task block),
-        ``initial_cyclic`` and ``degree_reorder`` (the Section 5.3
-        relabeling steps) alter the blocks preprocessing emits; kernel,
-        executor and serialization toggles only change how the same blocks
-        are consumed, so they deliberately share one cached artifact.
+        ``algorithm`` selects which preprocessing pipeline ran (tc2d's
+        U/L split vs. cover-edge's BFS-level construction — entirely
+        different block contents); ``enumeration`` (which side becomes
+        the task block), ``initial_cyclic`` and ``degree_reorder`` (the
+        Section 5.3 relabeling steps) alter the blocks that pipeline
+        emits.  Kernel, executor and serialization toggles only change
+        how the same blocks are consumed, so they deliberately share one
+        cached artifact.
         """
         return {
+            "algorithm": self.algorithm,
             "enumeration": self.enumeration,
             "initial_cyclic": self.initial_cyclic,
             "degree_reorder": self.degree_reorder,

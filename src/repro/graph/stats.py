@@ -97,3 +97,88 @@ def degree_summary(g: Graph) -> DegreeSummary:
         d_max=int(d.max()),
         d_min=int(d.min()),
     )
+
+
+def bfs_levels(g: Graph) -> np.ndarray:
+    """BFS level of every vertex, rooted at each component's minimum-label
+    vertex (level 0); isolated vertices are their own roots.
+
+    This is the level structure the cover-edge algorithm
+    (:mod:`repro.core.coveredge`) derives in its distributed
+    preprocessing; the sequential version here feeds the auto-tuner's
+    cheap signal collection and the tests' oracles.  Frontier-vectorized:
+    one ``np.unique`` pass per BFS level.
+    """
+    n = g.n
+    level = np.full(n, -1, dtype=np.int64)
+    indptr, indices = g.adj.indptr, g.adj.indices
+    for root in range(n):
+        if level[root] >= 0:
+            continue
+        level[root] = 0
+        frontier = np.array([root], dtype=np.int64)
+        depth = 0
+        while len(frontier):
+            gathered = np.concatenate(
+                [indices[indptr[v] : indptr[v + 1]] for v in frontier]
+            ) if len(frontier) else indices[:0]
+            nxt = np.unique(gathered)
+            nxt = nxt[level[nxt] < 0]
+            depth += 1
+            level[nxt] = depth
+            frontier = nxt
+    return level
+
+
+def cover_edge_stats(g: Graph, level: np.ndarray | None = None) -> dict:
+    """Cheap statistics of the cover-edge decomposition.
+
+    Returns ``horizontal_edges`` (undirected edges whose endpoints share
+    a BFS level — the cover set S), ``horizontal_fraction`` (|S| / m),
+    ``horizontal_wedges`` (wedge count of the horizontal subgraph H) and
+    ``bfs_depth`` (max level).  These are the signals that decide whether
+    cover-edge counting beats tc2d: small cover sets mean both of its
+    passes operate on far fewer tasks than tc2d's m.
+    """
+    if level is None:
+        level = bfs_levels(g)
+    indptr, indices = g.adj.indptr, g.adj.indices
+    row_rep = np.repeat(np.arange(g.n, dtype=np.int64), np.diff(indptr))
+    horiz = level[indices] == level[row_rep]
+    m_h_directed = int(np.count_nonzero(horiz))
+    d_h = np.bincount(row_rep[horiz], minlength=g.n).astype(np.int64)
+    m = g.num_edges
+    return {
+        "horizontal_edges": m_h_directed // 2,
+        "horizontal_fraction": (m_h_directed / 2) / m if m else 0.0,
+        "horizontal_wedges": int((d_h * (d_h - 1) // 2).sum()),
+        "bfs_depth": int(level.max()) if g.n else 0,
+    }
+
+
+def clustering_estimate(g: Graph, samples: int = 128, seed: int = 0) -> float:
+    """Sampled mean local clustering coefficient — a cheap stand-in for
+    :func:`global_clustering` that never counts all triangles.
+
+    Deterministic for a given ``(graph, samples, seed)``: the sample is
+    drawn with a seeded generator from the degree-≥2 vertices (all of
+    them when there are at most ``samples``).  Exactness is not the
+    point; the auto-tuner only needs the order of magnitude.
+    """
+    d = g.degrees.astype(np.int64)
+    eligible = np.flatnonzero(d >= 2)
+    if len(eligible) == 0:
+        return 0.0
+    if len(eligible) > samples:
+        rng = np.random.default_rng(seed)
+        eligible = np.sort(rng.choice(eligible, size=samples, replace=False))
+    indptr, indices = g.adj.indptr, g.adj.indices
+    total = 0.0
+    for v in eligible:
+        nb = indices[indptr[v] : indptr[v + 1]]
+        closed = 0
+        for u in nb:
+            closed += int(np.isin(indices[indptr[u] : indptr[u + 1]], nb).sum())
+        dv = len(nb)
+        total += closed / (dv * (dv - 1))
+    return float(total / len(eligible))

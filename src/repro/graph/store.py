@@ -187,7 +187,13 @@ def graph_digest(graph: Graph) -> str:
     return h.hexdigest()
 
 
-def artifact_digest(graph_sha: str, p: int, q: int, cfg: "TC2DConfig") -> str:
+def artifact_digest(
+    graph_sha: str,
+    p: int,
+    q: int,
+    cfg: "TC2DConfig",
+    key_extra: dict | None = None,
+) -> str:
     """Content address of one preprocessed artifact.
 
     Covers everything the preprocessing output depends on: the graph
@@ -196,6 +202,12 @@ def artifact_digest(graph_sha: str, p: int, q: int, cfg: "TC2DConfig") -> str:
     (:meth:`~repro.core.config.TC2DConfig.store_key`), and the blob/store
     format versions.  Anything else (kernel backend, executor, seeds used
     only by faults/kernels) deliberately does **not** change the digest.
+
+    ``key_extra`` lets a driver distinguish several artifacts produced
+    under one config — the cover-edge pipeline stores its two passes
+    (cover + horizontal blocks) as separate entries keyed by a
+    ``{"pass": ...}`` component.  ``None`` and ``{}`` digest identically
+    to the historical single-artifact layout.
     """
     payload = {
         "store_schema": STORE_SCHEMA_VERSION,
@@ -205,6 +217,8 @@ def artifact_digest(graph_sha: str, p: int, q: int, cfg: "TC2DConfig") -> str:
         "q": int(q),
         "cfg": cfg.store_key(),
     }
+    if key_extra:
+        payload["extra"] = dict(key_extra)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -798,8 +812,13 @@ class GraphStore:
         model: "MachineModel | None" = None,
         source: str = "",
         writable: bool = True,
+        key_extra: dict | None = None,
     ) -> RunCache:
         """Resolve the artifact for one run and return its :class:`RunCache`.
+
+        ``key_extra`` is folded into the artifact digest (see
+        :func:`artifact_digest`) so one config can address several
+        stored artifacts — e.g. the cover-edge pipeline's two passes.
 
         A schema-incompatible or structurally broken entry is invalidated
         here (automatic invalidation): the run then proceeds as a cold
@@ -818,7 +837,7 @@ class GraphStore:
 
         q = ProcessorGrid.for_ranks(p).q
         graph_sha = graph_digest(graph)
-        digest = artifact_digest(graph_sha, p, q, cfg)
+        digest = artifact_digest(graph_sha, p, q, cfg, key_extra=key_extra)
         model_fp = (model if model is not None else MachineModel()).fingerprint()
         manifest: dict | None = None
         lock: DigestLock | None = None

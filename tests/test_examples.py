@@ -142,3 +142,52 @@ def test_datasets_doc_shell_snippets(small_datasets, tmp_path):
             f"docs/datasets.md bash block {i} failed:\n"
             f"{proc.stdout}\n{proc.stderr}"
         )
+
+
+def test_autotune_doc_python_snippet():
+    blocks = fenced_blocks(DOCS / "autotune.md", "python")
+    assert blocks, "docs/autotune.md lost its library-API example"
+    for i, block in enumerate(blocks):
+        exec(compile(block, f"docs/autotune.md:python[{i}]", "exec"), {})
+
+
+@pytest.mark.slow
+def test_autotune_doc_shell_snippets(tmp_path):
+    """Run every bash block in docs/autotune.md exactly as written.
+
+    Deliberately at FULL dataset scale (no REPRO_DATASET_SCALE): the
+    history-check block gates the smoke bench against the committed
+    BENCH_autotune_baseline.json, whose triangle counts are full-scale.
+    """
+    import os
+    import subprocess
+
+    blocks = fenced_blocks(DOCS / "autotune.md", "bash")
+    assert len(blocks) >= 3, "docs/autotune.md lost its CLI walkthrough"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_DATASET_SCALE", None)
+    for i, block in enumerate(blocks):
+        script = block.replace("/tmp/", f"{tmp_path}/")
+        proc = subprocess.run(
+            ["bash", "-euo", "pipefail", "-c", script],
+            cwd=REPO,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, (
+            f"docs/autotune.md bash block {i} failed:\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+
+
+def test_cli_auto_respects_pinned_flags(capsys):
+    """`count --auto -p 9` must plan around the pinned grid and say so."""
+    from repro.cli import main
+
+    rc = main(["count", "g500-s12", "--auto", "--auto-max-p", "9", "-p", "9"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "auto:" in out and "-p 9" in out
+    assert "pinned: p" in out
